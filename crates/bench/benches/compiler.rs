@@ -1,0 +1,78 @@
+//! Compiler-pipeline benches: how the cost of each phase (front end,
+//! verification, bytecode elaboration) scales with program size.  These are
+//! the inputs to the recompilation term of the migration cost model — the
+//! paper attributes ~90 % of FIR migration time to exactly this work at the
+//! destination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mojave_bench::synthetic_source;
+use mojave_core::backend::compile_program;
+use mojave_fir::{typecheck, validate, ExternEnv};
+use std::time::Duration;
+
+const SIZES: [usize; 3] = [4, 16, 64];
+
+fn frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler/frontend");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in SIZES {
+        let source = synthetic_source(n);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}_loops")), &source, |b, src| {
+            b.iter(|| mojave_lang::compile_source(src).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler/verify");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let externs = ExternEnv::standard();
+    for n in SIZES {
+        let program = mojave_lang::compile_source(&synthetic_source(n)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_nodes", program.size())),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    validate(program).unwrap();
+                    typecheck(program, &externs).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn backend_elaboration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler/backend");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in SIZES {
+        let program = mojave_lang::compile_source(&synthetic_source(n)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_nodes", program.size())),
+            &program,
+            |b, program| {
+                b.iter(|| compile_program(program).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn image_serialisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler/fir_serialisation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let program = mojave_lang::compile_source(&synthetic_source(32)).unwrap();
+    group.bench_function("encode", |b| {
+        b.iter(|| mojave_wire::to_bytes(&program));
+    });
+    let bytes = mojave_wire::to_bytes(&program);
+    group.bench_function("decode", |b| {
+        b.iter(|| mojave_wire::from_bytes::<mojave_fir::Program>(&bytes).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, frontend, verification, backend_elaboration, image_serialisation);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Experiment F3 and supporting ablations: the pointer table (validation and
+//! relocation costs), allocation and collection throughput, and the
+//! copy-on-write clone cost that underlies the speculation numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mojave_bench::populate_heap;
+use mojave_heap::{Heap, HeapConfig, PointerTable, Word};
+use std::time::Duration;
+
+/// The §4.1.1 claim: validating a base pointer is a handful of operations.
+fn pointer_table_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap/pointer_table");
+    group.sample_size(30).measurement_time(Duration::from_secs(1));
+
+    group.bench_function("lookup_valid", |b| {
+        let mut table = PointerTable::new();
+        let idxs: Vec<_> = (0..1024).map(|i| table.allocate(i)).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % idxs.len();
+            table.lookup(idxs[i])
+        });
+    });
+
+    group.bench_function("allocate_free_cycle", |b| {
+        let mut table = PointerTable::new();
+        b.iter(|| {
+            let idx = table.allocate(7);
+            table.free(idx)
+        });
+    });
+
+    group.bench_function("relocate", |b| {
+        let mut table = PointerTable::new();
+        let idxs: Vec<_> = (0..1024).map(|i| table.allocate(i)).collect();
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot += 1;
+            table.relocate(idxs[slot % idxs.len()], slot)
+        });
+    });
+
+    // Checked heap load: index validation + bounds check + read.
+    group.bench_function("checked_load", |b| {
+        let mut heap = Heap::new();
+        let ptrs = populate_heap(&mut heap, 64 * 1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ptrs.len();
+            heap.load(ptrs[i], (i % 64) as i64).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn allocation_and_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap/gc");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("alloc_64_word_block", |b| {
+        let mut heap = Heap::with_config(HeapConfig {
+            major_threshold_bytes: usize::MAX,
+            minor_threshold_bytes: usize::MAX,
+            ..HeapConfig::default()
+        });
+        b.iter(|| heap.alloc_array(64, Word::Int(0)).unwrap());
+    });
+
+    for live_kb in [64usize, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("major_collection", format!("{live_kb}KiB_live")),
+            &live_kb,
+            |b, &live_kb| {
+                b.iter_batched(
+                    || {
+                        let mut heap = Heap::new();
+                        let live = populate_heap(&mut heap, live_kb * 1024);
+                        // Twice as much garbage as live data.
+                        populate_heap(&mut heap, live_kb * 3 * 1024);
+                        let roots: Vec<Word> = live.into_iter().map(Word::Ptr).collect();
+                        (heap, roots)
+                    },
+                    |(mut heap, roots)| {
+                        heap.gc_major(&roots);
+                        heap.live_blocks()
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+
+    group.bench_function("cow_clone_one_block", |b| {
+        let mut heap = Heap::new();
+        let ptrs = populate_heap(&mut heap, 200 * 1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            let level = heap.spec_enter();
+            i = (i + 1) % ptrs.len();
+            heap.store(ptrs[i], 0, Word::Int(1)).unwrap();
+            heap.spec_rollback(level).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pointer_table_ops, allocation_and_gc);
+criterion_main!(benches);

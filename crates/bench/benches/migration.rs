@@ -1,0 +1,110 @@
+//! Experiments E1–E2: whole-process migration cost, FIR vs binary, as a
+//! function of heap size, with the transfer/recompile breakdown.
+//!
+//! Paper reference points (700 MHz nodes, 100 Mbps network, 1 MB heap):
+//!   FIR migration ≈ 4 s, ~10 % network transfer, ~90 % recompilation;
+//!   binary migration < 1 s, ~30 % data transfer.
+//! The shape to reproduce: FIR migration is several times more expensive
+//! than binary migration because of destination-side verification and
+//! recompilation; transfer is a minority share of FIR migration and a much
+//! larger share of binary migration.  Absolute numbers on this substrate are
+//! far smaller than 2007 hardware; the harness prints both the measured
+//! values and the calibrated cost-model estimates (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mojave_bench::process_with_heap;
+use mojave_cluster::CostModel;
+use mojave_core::{Process, ProcessConfig};
+use mojave_heap::Word;
+use std::time::Duration;
+
+const HEAP_SIZES_KB: [usize; 4] = [64, 256, 1024, 4096];
+
+/// Pack + unpack (verify, recompile, rebuild heap) with the FIR protocol.
+fn fir_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration/fir_roundtrip");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kb in HEAP_SIZES_KB {
+        group.throughput(Throughput::Bytes((kb * 1024) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KiB")), &kb, |b, &kb| {
+            let (mut process, roots) = process_with_heap(kb * 1024, false);
+            b.iter(|| {
+                let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
+                let resumed = Process::from_image(image, ProcessConfig::default()).expect("unpack");
+                resumed.heap().live_bytes()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The same round trip with the binary protocol (no verification, no
+/// recompilation at the destination).
+fn binary_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration/binary_roundtrip");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kb in HEAP_SIZES_KB {
+        group.throughput(Throughput::Bytes((kb * 1024) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KiB")), &kb, |b, &kb| {
+            let (mut process, roots) = process_with_heap(kb * 1024, true);
+            b.iter(|| {
+                let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
+                let resumed = Process::from_image(image, ProcessConfig::default()).expect("unpack");
+                resumed.heap().live_bytes()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The destination-side share alone: verification + recompilation of the FIR
+/// (the component the paper attributes ~90 % of FIR migration time to).
+fn recompilation_share(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration/destination_recompile");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let (mut process, roots) = process_with_heap(1024 * 1024, false);
+    let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
+    let program = match &image.code {
+        mojave_core::migrate::PackedCode::Fir(p) => p.clone(),
+        _ => unreachable!("FIR image"),
+    };
+    group.bench_function("verify_and_compile_1MiB_image", |b| {
+        b.iter(|| {
+            mojave_fir::validate(&program).unwrap();
+            mojave_fir::typecheck(&program, &mojave_fir::ExternEnv::standard()).unwrap();
+            mojave_core::backend::compile_program(&program).unwrap()
+        });
+    });
+    group.bench_function("heap_decode_1MiB_image", |b| {
+        b.iter(|| image.decode_heap(Default::default()).unwrap());
+    });
+    group.finish();
+
+    // Print the table the paper's Section 5 summarises: measured split on
+    // this substrate plus the calibrated model for the 2007 testbed.
+    let model = CostModel::default();
+    eprintln!();
+    eprintln!("migration breakdown (modelled for the paper's 700 MHz / 100 Mbps testbed):");
+    eprintln!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12}",
+        "heap", "FIR total (s)", "bin total (s)", "FIR xfer %", "bin xfer %"
+    );
+    for kb in HEAP_SIZES_KB {
+        let (mut process, roots) = process_with_heap(kb * 1024, false);
+        let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
+        let fir_nodes = process.program().map(|p| p.size()).unwrap_or(0);
+        let fir = model.fir_migration(image.byte_size(), fir_nodes, kb * 1024);
+        let bin = model.binary_migration(image.byte_size(), kb * 1024);
+        eprintln!(
+            "{:>8}KB {:>14.2} {:>14.2} {:>11.1}% {:>11.1}%",
+            kb,
+            fir.total_us() / 1e6,
+            bin.total_us() / 1e6,
+            fir.transfer_fraction() * 100.0,
+            bin.transfer_fraction() * 100.0,
+        );
+    }
+}
+
+criterion_group!(benches, fir_migration, binary_migration, recompilation_share);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Experiments E3–E6: the cost of the speculation primitives as a function
+//! of the heap mutation fraction, compared against a context-switch baseline
+//! (paper §5, second paragraph).
+//!
+//! Paper reference points (dual 700 MHz nodes, 200 KB heap):
+//!   enter ≈ 40 µs (independent of mutation),
+//!   abort 120 µs @10% → 135 µs @100%,
+//!   commit 81 µs @10% → 87 µs @100%,
+//!   context switch ≈ 300 µs.
+//! The shape to reproduce: enter is flat, abort grows with the mutation
+//! fraction and costs more than commit, commit is nearly flat, and all three
+//! are cheap relative to a context switch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mojave_bench::{mutate_percent, populate_heap};
+use mojave_heap::Heap;
+use std::time::Duration;
+
+const HEAP_BYTES: usize = 200 * 1024;
+const MUTATIONS: [usize; 5] = [0, 10, 25, 50, 100];
+
+fn spec_enter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speculation/enter");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for percent in MUTATIONS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{percent}pct")),
+            &percent,
+            |b, &_percent| {
+                // Entry cost does not depend on what happens later, but we
+                // sweep the same parameter so the series line up in reports.
+                let mut heap = Heap::new();
+                populate_heap(&mut heap, HEAP_BYTES);
+                b.iter(|| {
+                    let level = heap.spec_enter();
+                    // Close it again outside the interesting region.
+                    heap.spec_commit(level).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn spec_abort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speculation/abort");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for percent in MUTATIONS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{percent}pct")),
+            &percent,
+            |b, &percent| {
+                let mut heap = Heap::new();
+                let ptrs = populate_heap(&mut heap, HEAP_BYTES);
+                b.iter(|| {
+                    let level = heap.spec_enter();
+                    mutate_percent(&mut heap, &ptrs, percent);
+                    heap.spec_rollback(level).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn spec_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speculation/commit");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for percent in MUTATIONS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{percent}pct")),
+            &percent,
+            |b, &percent| {
+                let mut heap = Heap::new();
+                let ptrs = populate_heap(&mut heap, HEAP_BYTES);
+                b.iter(|| {
+                    let level = heap.spec_enter();
+                    mutate_percent(&mut heap, &ptrs, percent);
+                    heap.spec_commit(level).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E6: the context-switch comparison.  Two threads, each nominally owning a
+/// 200 KB heap, hand a token back and forth; one round trip is two context
+/// switches.
+fn context_switch_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speculation/context_switch_baseline");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("thread_handoff_roundtrip", |b| {
+        use std::sync::mpsc;
+        let (to_worker, from_main) = mpsc::channel::<u64>();
+        let (to_main, from_worker) = mpsc::channel::<u64>();
+        // The worker owns its own 200 KB heap, like the second process in the
+        // paper's measurement.
+        let worker = std::thread::spawn(move || {
+            let mut heap = Heap::new();
+            populate_heap(&mut heap, HEAP_BYTES);
+            while let Ok(v) = from_main.recv() {
+                if v == u64::MAX {
+                    break;
+                }
+                to_main.send(v + 1).unwrap();
+            }
+        });
+        let mut heap = Heap::new();
+        populate_heap(&mut heap, HEAP_BYTES);
+        b.iter(|| {
+            to_worker.send(1).unwrap();
+            from_worker.recv().unwrap()
+        });
+        to_worker.send(u64::MAX).unwrap();
+        worker.join().unwrap();
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    spec_enter,
+    spec_abort,
+    spec_commit,
+    context_switch_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,387 @@
+//! Cluster state: nodes, mailboxes, failure injection, migration daemons.
+
+use crate::network::NetworkModel;
+use mojave_core::{CheckpointStore, PackedProcess, Process, ProcessConfig, RunOutcome, RuntimeError};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+// (VecDeque is still used for the per-node migration-daemon inbound queues.)
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Interconnect model (used for accounting).
+    pub network: NetworkModel,
+    /// How long a `msg_recv` waits before reporting `MSG_ROLL`.
+    pub recv_timeout: Duration,
+    /// Architecture tag per node; defaults to alternating `ia32-sim` /
+    /// `risc-sim` to exercise heterogeneous migration.
+    pub archs: Vec<String>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` homogeneous nodes with the paper's network.
+    pub fn new(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            network: NetworkModel::paper_testbed(),
+            recv_timeout: Duration::from_millis(2_000),
+            archs: (0..nodes)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        "ia32-sim".to_owned()
+                    } else {
+                        "risc-sim".to_owned()
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Liveness of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Running normally.
+    Alive,
+    /// Crashed; processes on it are gone and peers observe the failure.
+    Failed,
+}
+
+/// The outcome of a message receive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvOutcome {
+    /// A message arrived.
+    Data(Vec<f64>),
+    /// The sender is marked failed — the receiver should roll back
+    /// (`MSG_ROLL` in Figure 2).
+    PeerFailed,
+    /// Nothing arrived within the timeout.
+    Timeout,
+}
+
+#[derive(Debug, Default)]
+struct Traffic {
+    messages: u64,
+    bytes: u64,
+    simulated_us: f64,
+}
+
+struct Inner {
+    config: ClusterConfig,
+    /// Message log: latest payload per (to, from, tag).  Receives *read*
+    /// rather than consume, so that a worker that rolls back (or is
+    /// resurrected from a checkpoint) can re-read borders its previous
+    /// incarnation already received — border contents are deterministic, so
+    /// re-reads and re-sends are idempotent.  This is what keeps the
+    /// Figure-2 recovery protocol consistent when the failed node's last
+    /// checkpoint is older than the survivors' rollback points.
+    mail: Mutex<HashMap<(usize, usize, i64), Vec<f64>>>,
+    mail_cv: Condvar,
+    status: Mutex<Vec<NodeStatus>>,
+    inbound: Mutex<Vec<VecDeque<PackedProcess>>>,
+    store: CheckpointStore,
+    traffic: Mutex<Traffic>,
+}
+
+/// A handle to the shared cluster state.  Cheap to clone; every node,
+/// externals instance and daemon holds one.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.inner.config.nodes)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Create a cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let nodes = config.nodes;
+        Cluster {
+            inner: Arc::new(Inner {
+                config,
+                mail: Mutex::new(HashMap::new()),
+                mail_cv: Condvar::new(),
+                status: Mutex::new(vec![NodeStatus::Alive; nodes]),
+                inbound: Mutex::new((0..nodes).map(|_| VecDeque::new()).collect()),
+                store: CheckpointStore::new(),
+                traffic: Mutex::new(Traffic::default()),
+            }),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.config.nodes
+    }
+
+    /// The shared reliable store (the "NFS mount").
+    pub fn store(&self) -> CheckpointStore {
+        self.inner.store.clone()
+    }
+
+    /// The interconnect model.
+    pub fn network(&self) -> NetworkModel {
+        self.inner.config.network
+    }
+
+    /// The receive timeout.
+    pub fn recv_timeout(&self) -> Duration {
+        self.inner.config.recv_timeout
+    }
+
+    /// The architecture tag of a node.
+    pub fn arch(&self, node: usize) -> String {
+        self.inner
+            .config
+            .archs
+            .get(node)
+            .cloned()
+            .unwrap_or_else(|| "ia32-sim".to_owned())
+    }
+
+    /// A node's status.
+    pub fn status(&self, node: usize) -> NodeStatus {
+        self.inner.status.lock()[node]
+    }
+
+    /// Whether a node is currently failed.
+    pub fn is_failed(&self, node: usize) -> bool {
+        self.status(node) == NodeStatus::Failed
+    }
+
+    /// Mark a node as failed (failure injection).  Its processes observe the
+    /// failure at their next external call; peers observe it through
+    /// `MSG_ROLL` receives.
+    pub fn fail_node(&self, node: usize) {
+        self.inner.status.lock()[node] = NodeStatus::Failed;
+        // Wake any receiver blocked on a message from this node.
+        self.inner.mail_cv.notify_all();
+    }
+
+    /// Mark a node alive again (a replacement machine, or the resurrection
+    /// of the computation on a spare).
+    pub fn revive_node(&self, node: usize) {
+        self.inner.status.lock()[node] = NodeStatus::Alive;
+        self.inner.mail_cv.notify_all();
+    }
+
+    /// Point-to-point send of a float payload with a tag.  A re-send after a
+    /// rollback overwrites the logged copy (the payload is identical, because
+    /// the rolled-back computation is deterministic).
+    pub fn send(&self, from: usize, to: usize, tag: i64, data: Vec<f64>) {
+        {
+            let mut traffic = self.inner.traffic.lock();
+            traffic.messages += 1;
+            let bytes = data.len() * 8 + 32;
+            traffic.bytes += bytes as u64;
+            traffic.simulated_us += self.inner.config.network.transfer_time_us(bytes);
+        }
+        let mut mail = self.inner.mail.lock();
+        mail.insert((to, from, tag), data);
+        self.inner.mail_cv.notify_all();
+    }
+
+    /// Receive the message sent from `from` to `to` with tag `tag`, waiting
+    /// up to the configured timeout.  The message stays in the log so a
+    /// rolled-back or resurrected receiver can read it again.
+    pub fn recv(&self, to: usize, from: usize, tag: i64) -> RecvOutcome {
+        let deadline = Instant::now() + self.inner.config.recv_timeout;
+        let mut mail = self.inner.mail.lock();
+        loop {
+            if let Some(data) = mail.get(&(to, from, tag)) {
+                return RecvOutcome::Data(data.clone());
+            }
+            if self.is_failed(from) {
+                return RecvOutcome::PeerFailed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvOutcome::Timeout;
+            }
+            self.inner
+                .mail_cv
+                .wait_until(&mut mail, deadline.min(now + Duration::from_millis(20)));
+        }
+    }
+
+    /// Queue an inbound migrated process for `node`'s migration daemon.
+    /// Returns `false` if the node is failed (delivery refused).
+    pub fn push_inbound(&self, node: usize, packed: PackedProcess) -> bool {
+        if node >= self.num_nodes() || self.is_failed(node) {
+            return false;
+        }
+        {
+            let mut traffic = self.inner.traffic.lock();
+            traffic.bytes += packed.bytes.len() as u64;
+            traffic.simulated_us += self
+                .inner
+                .config
+                .network
+                .transfer_time_us(packed.bytes.len());
+        }
+        self.inner.inbound.lock()[node].push_back(packed);
+        true
+    }
+
+    /// Take the next inbound process for `node`, if any.
+    pub fn pop_inbound(&self, node: usize) -> Option<PackedProcess> {
+        self.inner.inbound.lock()[node].pop_front()
+    }
+
+    /// Total bytes moved over the simulated network so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.inner.traffic.lock().bytes
+    }
+
+    /// Total simulated network time in microseconds.
+    pub fn simulated_network_us(&self) -> f64 {
+        self.inner.traffic.lock().simulated_us
+    }
+
+    /// Number of point-to-point messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.traffic.lock().messages
+    }
+}
+
+/// The migration server of paper §4.2.1: "a version of the compiler that will
+/// listen for incoming migration requests, recompile any inbound processes on
+/// the new machine, and reconstruct their state before executing them."
+#[derive(Debug, Clone)]
+pub struct MigrationDaemon {
+    cluster: Cluster,
+    node: usize,
+}
+
+impl MigrationDaemon {
+    /// A daemon serving `node`.
+    pub fn new(cluster: Cluster, node: usize) -> Self {
+        MigrationDaemon { cluster, node }
+    }
+
+    /// Unpack one pending inbound process into a runnable [`Process`] wired
+    /// to this cluster (externals + sink), without running it.
+    pub fn accept_one(&self, config: &ProcessConfig) -> Option<Result<Process, RuntimeError>> {
+        let packed = self.cluster.pop_inbound(self.node)?;
+        Some(self.build_process(&packed, config))
+    }
+
+    fn build_process(
+        &self,
+        packed: &PackedProcess,
+        config: &ProcessConfig,
+    ) -> Result<Process, RuntimeError> {
+        let image = packed.image()?;
+        let config = ProcessConfig {
+            machine: mojave_core::Machine::new(self.cluster.arch(self.node)),
+            ..config.clone()
+        };
+        let process = Process::from_image(image, config)?
+            .with_externals(Box::new(crate::ClusterExternals::new(
+                self.cluster.clone(),
+                self.node,
+            )))
+            .with_sink(Box::new(crate::ClusterSink::new(
+                self.cluster.clone(),
+                self.node,
+            )));
+        Ok(process)
+    }
+
+    /// Accept and run every pending inbound process to completion.
+    pub fn run_pending(&self, config: &ProcessConfig) -> Vec<Result<RunOutcome, RuntimeError>> {
+        let mut outcomes = Vec::new();
+        while let Some(result) = self.accept_one(config) {
+            outcomes.push(result.and_then(|mut p| p.run()));
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let cluster = Cluster::new(ClusterConfig::new(3));
+        cluster.send(0, 1, 42, vec![1.0, 2.0, 3.0]);
+        match cluster.recv(1, 0, 42) {
+            RecvOutcome::Data(d) => assert_eq!(d, vec![1.0, 2.0, 3.0]),
+            other => panic!("expected data, got {other:?}"),
+        }
+        assert_eq!(cluster.messages_sent(), 1);
+        assert!(cluster.bytes_transferred() > 24);
+    }
+
+    #[test]
+    fn recv_from_failed_peer_reports_msg_roll() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        cluster.fail_node(0);
+        assert_eq!(cluster.recv(1, 0, 7), RecvOutcome::PeerFailed);
+        cluster.revive_node(0);
+        assert_eq!(cluster.status(0), NodeStatus::Alive);
+    }
+
+    #[test]
+    fn recv_times_out_when_nothing_arrives() {
+        let mut config = ClusterConfig::new(2);
+        config.recv_timeout = Duration::from_millis(30);
+        let cluster = Cluster::new(config);
+        let start = Instant::now();
+        assert_eq!(cluster.recv(1, 0, 1), RecvOutcome::Timeout);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn messages_are_logged_per_tag_and_rereadable() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        cluster.send(0, 1, 5, vec![1.0]);
+        cluster.send(0, 1, 6, vec![9.0]);
+        assert_eq!(cluster.recv(1, 0, 6), RecvOutcome::Data(vec![9.0]));
+        assert_eq!(cluster.recv(1, 0, 5), RecvOutcome::Data(vec![1.0]));
+        // A rolled-back receiver can read the same tag again; a re-send after
+        // a rollback overwrites the logged copy.
+        assert_eq!(cluster.recv(1, 0, 5), RecvOutcome::Data(vec![1.0]));
+        cluster.send(0, 1, 5, vec![1.0]);
+        assert_eq!(cluster.recv(1, 0, 5), RecvOutcome::Data(vec![1.0]));
+    }
+
+    #[test]
+    fn inbound_queue_respects_failure() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let packed = PackedProcess {
+            protocol: mojave_fir::MigrateProtocol::Migrate,
+            target: "node1".into(),
+            bytes: vec![1, 2, 3],
+        };
+        assert!(cluster.push_inbound(1, packed.clone()));
+        cluster.fail_node(1);
+        assert!(!cluster.push_inbound(1, packed.clone()));
+        assert!(!cluster.push_inbound(9, packed));
+        assert!(cluster.pop_inbound(1).is_some());
+        assert!(cluster.pop_inbound(1).is_none());
+    }
+
+    #[test]
+    fn cross_thread_send_recv() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let c2 = cluster.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            c2.send(0, 1, 99, vec![3.5]);
+        });
+        assert_eq!(cluster.recv(1, 0, 99), RecvOutcome::Data(vec![3.5]));
+        handle.join().unwrap();
+    }
+}

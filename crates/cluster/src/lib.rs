@@ -1,0 +1,41 @@
+//! # mojave-cluster
+//!
+//! The simulated distributed environment the paper's evaluation runs on:
+//! a cluster of nodes connected by a modelled 100 Mbps network, a reliable
+//! shared store standing in for the NFS mount, a customised message-passing
+//! interface for the grid application (with the `MSG_ROLL` failure signal of
+//! Figure 2), per-node migration daemons, and failure injection.
+//!
+//! The real 2007 testbed (dual 700 MHz nodes, 100 Mbps Ethernet) is not
+//! available; [`NetworkModel`] and [`CostModel`] model its transfer and
+//! recompilation costs so the migration experiments can report both the
+//! numbers measured on this substrate and the numbers the model predicts for
+//! the paper's hardware (see EXPERIMENTS.md).
+//!
+//! The pieces:
+//!
+//! * [`Cluster`] — shared state: mailboxes, the checkpoint store, the set of
+//!   failed nodes, per-node architecture tags.
+//! * [`ClusterExternals`] — an [`mojave_core::Externals`] implementation that
+//!   wires `msg_send` / `msg_recv` / `node_id` / `num_nodes` to the cluster
+//!   and delegates everything else to the standard externals.
+//! * [`ClusterSink`] — a [`mojave_core::MigrationSink`] that writes
+//!   checkpoints to the shared store and routes `migrate://node<k>` images to
+//!   the target node's migration daemon.
+//! * [`MigrationDaemon`] — accepts inbound images, verifies and recompiles
+//!   them, and runs them (the paper's "migration server").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod costmodel;
+mod externals;
+mod network;
+mod sink;
+
+pub use cluster::{Cluster, ClusterConfig, MigrationDaemon, NodeStatus};
+pub use costmodel::CostModel;
+pub use externals::ClusterExternals;
+pub use network::NetworkModel;
+pub use sink::ClusterSink;

@@ -1,0 +1,203 @@
+//! The cluster migration sink: checkpoints to the shared store, `migrate://`
+//! to the target node's migration daemon.
+
+use crate::cluster::Cluster;
+use mojave_core::{DeliveryOutcome, MigrationImage, MigrationSink, PackedProcess};
+use mojave_fir::MigrateProtocol;
+
+/// [`MigrationSink`] for a process running on a cluster node.
+#[derive(Debug, Clone)]
+pub struct ClusterSink {
+    cluster: Cluster,
+    node: usize,
+}
+
+impl ClusterSink {
+    /// A sink for `node` on `cluster`.
+    pub fn new(cluster: Cluster, node: usize) -> Self {
+        ClusterSink { cluster, node }
+    }
+
+    /// The node this sink belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    fn parse_node(&self, target: &str) -> Option<usize> {
+        let name = target.trim();
+        let id = name
+            .strip_prefix("node")
+            .unwrap_or(name)
+            .parse::<usize>()
+            .ok()?;
+        if id < self.cluster.num_nodes() {
+            Some(id)
+        } else {
+            None
+        }
+    }
+}
+
+impl MigrationSink for ClusterSink {
+    fn deliver(
+        &mut self,
+        protocol: MigrateProtocol,
+        target: &str,
+        image: &MigrationImage,
+    ) -> DeliveryOutcome {
+        match protocol {
+            MigrateProtocol::Checkpoint | MigrateProtocol::Suspend => {
+                // Writing to the reliable store crosses the network too; the
+                // cluster accounts it as a message to the storage server.
+                let bytes = image.to_bytes();
+                self.cluster
+                    .send(self.node, self.node, -1, vec![bytes.len() as f64]);
+                self.cluster.store().put(target, bytes);
+                DeliveryOutcome::Stored
+            }
+            MigrateProtocol::Migrate => {
+                let Some(dest) = self.parse_node(target) else {
+                    return DeliveryOutcome::Failed(format!("unknown node `{target}`"));
+                };
+                if dest == self.node {
+                    return DeliveryOutcome::Failed(
+                        "refusing to migrate a process onto its own node".to_owned(),
+                    );
+                }
+                let packed = PackedProcess {
+                    protocol,
+                    target: target.to_owned(),
+                    bytes: image.to_bytes(),
+                };
+                if self.cluster.push_inbound(dest, packed) {
+                    DeliveryOutcome::Migrated
+                } else {
+                    DeliveryOutcome::Failed(format!("node {dest} is not accepting migrations"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, MigrationDaemon};
+    use mojave_core::{
+        BackendKind, CheckpointStore, InMemorySink, Process, ProcessConfig, RunOutcome,
+    };
+    use mojave_fir::builder::{term, ProgramBuilder};
+    use mojave_fir::{Atom, Ty};
+
+    /// A program that migrates to node 1 and, wherever it ends up running,
+    /// halts with 77.
+    fn migrating_program() -> mojave_fir::Program {
+        let mut pb = ProgramBuilder::new();
+        let (after, aparams) = pb.declare("after", &[("x", Ty::Int)]);
+        pb.define(after, term::halt(aparams[0]));
+        let (main, _) = pb.declare("main", &[]);
+        let label = pb.label();
+        pb.define(
+            main,
+            term::migrate(
+                label,
+                Atom::Str("migrate://node1".into()),
+                after,
+                vec![Atom::Int(77)],
+            ),
+        );
+        pb.set_entry(main);
+        pb.finish()
+    }
+
+    #[test]
+    fn migrate_moves_the_process_to_the_target_daemon() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let mut source = Process::new(migrating_program(), ProcessConfig::default())
+            .unwrap()
+            .with_sink(Box::new(ClusterSink::new(cluster.clone(), 0)));
+        let outcome = source.run().unwrap();
+        assert_eq!(
+            outcome,
+            RunOutcome::MigratedAway {
+                target: "node1".to_owned()
+            }
+        );
+
+        // The destination daemon verifies, recompiles and runs it.
+        let daemon = MigrationDaemon::new(cluster.clone(), 1);
+        let results = daemon.run_pending(&ProcessConfig::default());
+        assert_eq!(results.len(), 1);
+        assert_eq!(*results[0].as_ref().unwrap(), RunOutcome::Exit(77));
+        assert!(cluster.bytes_transferred() > 0);
+    }
+
+    #[test]
+    fn migrate_to_failed_or_unknown_node_fails_and_process_continues() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        cluster.fail_node(1);
+        let mut p = Process::new(migrating_program(), ProcessConfig::default())
+            .unwrap()
+            .with_sink(Box::new(ClusterSink::new(cluster.clone(), 0)));
+        // Delivery fails, so the process continues locally and exits 77.
+        assert_eq!(p.run().unwrap(), RunOutcome::Exit(77));
+        assert_eq!(p.stats().migration_failures, 1);
+
+        let mut sink = ClusterSink::new(cluster, 0);
+        let store = CheckpointStore::new();
+        let _ = store; // silence unused in this scope
+        let image_sink = InMemorySink::new();
+        let _ = image_sink;
+        assert!(matches!(
+            sink.deliver(
+                MigrateProtocol::Migrate,
+                "node9",
+                &dummy_image()
+            ),
+            DeliveryOutcome::Failed(_)
+        ));
+        assert!(matches!(
+            sink.deliver(MigrateProtocol::Migrate, "node0", &dummy_image()),
+            DeliveryOutcome::Failed(_)
+        ));
+    }
+
+    fn dummy_image() -> MigrationImage {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::halt(0));
+        pb.set_entry(main);
+        let mut p = Process::new(pb.finish(), ProcessConfig::default()).unwrap();
+        p.pack(0, mojave_heap::Word::Fun(0), &[]).unwrap()
+    }
+
+    #[test]
+    fn checkpoints_land_in_the_shared_store() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let mut sink = ClusterSink::new(cluster.clone(), 0);
+        let image = dummy_image();
+        assert_eq!(
+            sink.deliver(MigrateProtocol::Checkpoint, "grid-0-10", &image),
+            DeliveryOutcome::Stored
+        );
+        assert_eq!(cluster.store().names(), vec!["grid-0-10".to_owned()]);
+        let loaded = cluster.store().load("grid-0-10").unwrap();
+        assert_eq!(loaded.source_arch, image.source_arch);
+    }
+
+    #[test]
+    fn backend_choice_survives_daemon_unpacking() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let mut source = Process::new(migrating_program(), ProcessConfig::default())
+            .unwrap()
+            .with_sink(Box::new(ClusterSink::new(cluster.clone(), 0)));
+        source.run().unwrap();
+        let daemon = MigrationDaemon::new(cluster, 1);
+        let config = ProcessConfig {
+            backend: BackendKind::Interp,
+            ..ProcessConfig::default()
+        };
+        let results = daemon.run_pending(&config);
+        assert_eq!(*results[0].as_ref().unwrap(), RunOutcome::Exit(77));
+    }
+}

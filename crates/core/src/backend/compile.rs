@@ -1,0 +1,512 @@
+//! Elaboration of FIR into bytecode — the reproduction's stand-in for the
+//! paper's native code generation.
+//!
+//! The compiler is deliberately simple (one virtual register per FIR
+//! variable, constants materialised at use sites, straight flattening of the
+//! expression tree) but it is a *real* pass over the whole program: the
+//! migration server runs it for every inbound FIR image, and the
+//! `fir_migration` benchmark measures exactly this work.
+
+use super::bytecode::{BcFun, BytecodeProgram, Const, Instr, Reg};
+use mojave_fir::{Atom, Expr, FunDef, Program, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised during elaboration.
+///
+/// A program that has passed `mojave_fir::typecheck` and
+/// `mojave_fir::validate` never triggers these; they exist because the
+/// migration server compiles images from untrusted sources and must not
+/// panic even if its earlier checks are bypassed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A variable was used before any binding assigned it a register.
+    UnboundVar {
+        /// The function being compiled.
+        fun: String,
+        /// The unbound variable.
+        var: u32,
+    },
+    /// The program's entry id is out of range.
+    BadEntry(u32),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnboundVar { fun, var } => {
+                write!(f, "compiling `{fun}`: variable v{var} has no register")
+            }
+            CompileError::BadEntry(id) => write!(f, "entry function f{id} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile a whole FIR program to bytecode.
+pub fn compile_program(program: &Program) -> Result<BytecodeProgram, CompileError> {
+    if program.fun(program.entry).is_none() {
+        return Err(CompileError::BadEntry(program.entry.0));
+    }
+    let funs = program
+        .funs
+        .iter()
+        .map(compile_fun)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BytecodeProgram {
+        funs,
+        entry: program.entry.0,
+    })
+}
+
+struct FunCompiler<'a> {
+    fun: &'a FunDef,
+    regs: HashMap<VarId, Reg>,
+    next_reg: Reg,
+    code: Vec<Instr>,
+}
+
+fn compile_fun(fun: &FunDef) -> Result<BcFun, CompileError> {
+    let mut c = FunCompiler {
+        fun,
+        regs: HashMap::new(),
+        next_reg: 0,
+        code: Vec::new(),
+    };
+    for (v, _) in &fun.params {
+        let reg = c.next_reg;
+        c.next_reg += 1;
+        c.regs.insert(*v, reg);
+    }
+    c.compile_expr(&fun.body)?;
+    Ok(BcFun {
+        name: fun.name.clone(),
+        nregs: c.next_reg,
+        nparams: fun.params.len() as u32,
+        code: c.code,
+    })
+}
+
+impl<'a> FunCompiler<'a> {
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn bind(&mut self, var: VarId) -> Reg {
+        let r = self.fresh();
+        self.regs.insert(var, r);
+        r
+    }
+
+    /// Materialise an atom into a register.
+    fn atom(&mut self, atom: &Atom) -> Result<Reg, CompileError> {
+        Ok(match atom {
+            Atom::Var(v) => *self.regs.get(v).ok_or(CompileError::UnboundVar {
+                fun: self.fun.name.clone(),
+                var: v.0,
+            })?,
+            Atom::Unit => self.emit_const(Const::Unit),
+            Atom::Int(i) => self.emit_const(Const::Int(*i)),
+            Atom::Float(f) => self.emit_const(Const::Float(*f)),
+            Atom::Bool(b) => self.emit_const(Const::Bool(*b)),
+            Atom::Char(c) => self.emit_const(Const::Char(*c)),
+            Atom::Str(s) => self.emit_const(Const::Str(s.clone())),
+            Atom::Fun(f) => {
+                let dst = self.fresh();
+                self.code.push(Instr::FunRef { dst, fun: f.0 });
+                dst
+            }
+        })
+    }
+
+    fn emit_const(&mut self, value: Const) -> Reg {
+        let dst = self.fresh();
+        self.code.push(Instr::Const { dst, value });
+        dst
+    }
+
+    fn atoms(&mut self, atoms: &[Atom]) -> Result<Vec<Reg>, CompileError> {
+        atoms.iter().map(|a| self.atom(a)).collect()
+    }
+
+    fn compile_expr(&mut self, expr: &Expr) -> Result<(), CompileError> {
+        match expr {
+            Expr::LetAtom { dst, atom, body, .. } => {
+                let src = self.atom(atom)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Move { dst: dst_reg, src });
+                self.compile_expr(body)
+            }
+            Expr::LetUnop { dst, op, arg, body } => {
+                let src = self.atom(arg)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Unop {
+                    dst: dst_reg,
+                    op: *op,
+                    src,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetBinop {
+                dst,
+                op,
+                lhs,
+                rhs,
+                body,
+            } => {
+                let l = self.atom(lhs)?;
+                let r = self.atom(rhs)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Binop {
+                    dst: dst_reg,
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetAlloc {
+                dst, len, init, body, ..
+            } => {
+                let len_reg = self.atom(len)?;
+                let init_reg = self.atom(init)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Alloc {
+                    dst: dst_reg,
+                    len: len_reg,
+                    init: init_reg,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetAllocRaw { dst, size, body } => {
+                let size_reg = self.atom(size)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::AllocRaw {
+                    dst: dst_reg,
+                    size: size_reg,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetTuple { dst, args, body } => {
+                let arg_regs = self.atoms(args)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Tuple {
+                    dst: dst_reg,
+                    args: arg_regs,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetClosure {
+                dst,
+                fun,
+                captured,
+                body,
+                ..
+            } => {
+                let cap_regs = self.atoms(captured)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Closure {
+                    dst: dst_reg,
+                    fun: fun.0,
+                    captured: cap_regs,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetLoad {
+                dst, ptr, index, body, ..
+            } => {
+                let ptr_reg = self.atom(ptr)?;
+                let idx_reg = self.atom(index)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Load {
+                    dst: dst_reg,
+                    ptr: ptr_reg,
+                    index: idx_reg,
+                });
+                self.compile_expr(body)
+            }
+            Expr::Store {
+                ptr,
+                index,
+                value,
+                body,
+            } => {
+                let ptr_reg = self.atom(ptr)?;
+                let idx_reg = self.atom(index)?;
+                let val_reg = self.atom(value)?;
+                self.code.push(Instr::Store {
+                    ptr: ptr_reg,
+                    index: idx_reg,
+                    value: val_reg,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetLoadRaw {
+                dst,
+                width,
+                ptr,
+                offset,
+                body,
+            } => {
+                let ptr_reg = self.atom(ptr)?;
+                let off_reg = self.atom(offset)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::LoadRaw {
+                    dst: dst_reg,
+                    width: *width,
+                    ptr: ptr_reg,
+                    offset: off_reg,
+                });
+                self.compile_expr(body)
+            }
+            Expr::StoreRaw {
+                width,
+                ptr,
+                offset,
+                value,
+                body,
+            } => {
+                let ptr_reg = self.atom(ptr)?;
+                let off_reg = self.atom(offset)?;
+                let val_reg = self.atom(value)?;
+                self.code.push(Instr::StoreRaw {
+                    width: *width,
+                    ptr: ptr_reg,
+                    offset: off_reg,
+                    value: val_reg,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetLen { dst, ptr, body } => {
+                let ptr_reg = self.atom(ptr)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Len {
+                    dst: dst_reg,
+                    ptr: ptr_reg,
+                });
+                self.compile_expr(body)
+            }
+            Expr::LetExt {
+                dst, name, args, body, ..
+            } => {
+                let arg_regs = self.atoms(args)?;
+                let dst_reg = self.bind(*dst);
+                self.code.push(Instr::Ext {
+                    dst: dst_reg,
+                    name: name.clone(),
+                    args: arg_regs,
+                });
+                self.compile_expr(body)
+            }
+            Expr::If { cond, then_, else_ } => {
+                let cond_reg = self.atom(cond)?;
+                let patch_at = self.code.len();
+                self.code.push(Instr::JumpIfFalse {
+                    cond: cond_reg,
+                    target: usize::MAX, // patched below
+                });
+                self.compile_expr(then_)?;
+                let else_start = self.code.len();
+                if let Instr::JumpIfFalse { target, .. } = &mut self.code[patch_at] {
+                    *target = else_start;
+                }
+                self.compile_expr(else_)
+            }
+            Expr::TailCall { target, args } => {
+                let arg_regs = self.atoms(args)?;
+                match target {
+                    Atom::Fun(f) => self.code.push(Instr::TailCallDirect {
+                        fun: f.0,
+                        args: arg_regs,
+                    }),
+                    other => {
+                        let target_reg = self.atom(other)?;
+                        self.code.push(Instr::TailCall {
+                            target: target_reg,
+                            args: arg_regs,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Expr::Halt { value } => {
+                let reg = self.atom(value)?;
+                self.code.push(Instr::Halt { value: reg });
+                Ok(())
+            }
+            Expr::Migrate {
+                label,
+                target,
+                fun,
+                args,
+            } => {
+                let target_reg = self.atom(target)?;
+                let fun_reg = self.atom(fun)?;
+                let arg_regs = self.atoms(args)?;
+                self.code.push(Instr::Migrate {
+                    label: label.0,
+                    target: target_reg,
+                    fun: fun_reg,
+                    args: arg_regs,
+                });
+                Ok(())
+            }
+            Expr::Speculate { fun, args } => {
+                let fun_reg = self.atom(fun)?;
+                let arg_regs = self.atoms(args)?;
+                self.code.push(Instr::Speculate {
+                    fun: fun_reg,
+                    args: arg_regs,
+                });
+                Ok(())
+            }
+            Expr::Commit { level, fun, args } => {
+                let level_reg = self.atom(level)?;
+                let fun_reg = self.atom(fun)?;
+                let arg_regs = self.atoms(args)?;
+                self.code.push(Instr::Commit {
+                    level: level_reg,
+                    fun: fun_reg,
+                    args: arg_regs,
+                });
+                Ok(())
+            }
+            Expr::Rollback { level, code } => {
+                let level_reg = self.atom(level)?;
+                let code_reg = self.atom(code)?;
+                self.code.push(Instr::Rollback {
+                    level: level_reg,
+                    code: code_reg,
+                });
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mojave_fir::builder::{term, ProgramBuilder};
+    use mojave_fir::{Binop, Ty};
+
+    #[test]
+    fn compiles_straight_line_code() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let x = b.binop("x", Binop::Add, Atom::Int(1), Atom::Int(2));
+        let body = b.finish(term::halt(x));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let bc = compile_program(&pb.finish()).unwrap();
+        assert_eq!(bc.funs.len(), 1);
+        let main = &bc.funs[0];
+        assert_eq!(main.nparams, 0);
+        assert!(matches!(main.code.last(), Some(Instr::Halt { .. })));
+        assert!(main
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Binop { op: Binop::Add, .. })));
+    }
+
+    #[test]
+    fn branch_targets_are_patched() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let c = b.binop("c", Binop::Lt, Atom::Int(1), Atom::Int(2));
+        let body = b.finish(term::branch(c, term::halt(1), term::halt(0)));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let bc = compile_program(&pb.finish()).unwrap();
+        let code = &bc.funs[0].code;
+        let (idx, target) = code
+            .iter()
+            .enumerate()
+            .find_map(|(i, instr)| match instr {
+                Instr::JumpIfFalse { target, .. } => Some((i, *target)),
+                _ => None,
+            })
+            .expect("a conditional branch");
+        assert!(target > idx, "else branch must come after the then branch");
+        assert!(target < code.len(), "target must be inside the function");
+        assert_ne!(target, usize::MAX, "placeholder must be patched");
+    }
+
+    #[test]
+    fn params_occupy_low_registers() {
+        let mut pb = ProgramBuilder::new();
+        let (f, params) = pb.declare("f", &[("a", Ty::Int), ("b", Ty::Int)]);
+        let mut b = pb.block();
+        let s = b.binop("s", Binop::Add, params[0], params[1]);
+        let body = b.finish(term::halt(s));
+        pb.define(f, body);
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::call(f, vec![Atom::Int(1), Atom::Int(2)]));
+        pb.set_entry(main);
+        let bc = compile_program(&pb.finish()).unwrap();
+        let f = &bc.funs[0];
+        assert_eq!(f.nparams, 2);
+        assert!(f.nregs >= 3);
+        // The add must read registers 0 and 1 (the parameters).
+        assert!(f
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Binop { lhs: 0, rhs: 1, .. })));
+    }
+
+    #[test]
+    fn unknown_entry_rejected() {
+        let mut program = Program::new();
+        program.entry = mojave_fir::FunId(7);
+        program.funs.push(FunDef {
+            id: mojave_fir::FunId(0),
+            name: "f".into(),
+            params: vec![],
+            body: Expr::Halt {
+                value: Atom::Int(0),
+            },
+        });
+        assert_eq!(
+            compile_program(&program),
+            Err(CompileError::BadEntry(7))
+        );
+    }
+
+    #[test]
+    fn direct_and_indirect_calls_compile_differently() {
+        let mut pb = ProgramBuilder::new();
+        let (callee, cparams) = pb.declare("callee", &[("env", Ty::ptr(Ty::Any)), ("x", Ty::Int)]);
+        pb.define(callee, term::halt(cparams[1]));
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let clo = b.closure("clo", callee, vec![Atom::Int(5)], vec![Ty::Int]);
+        let body = b.finish(term::call_var(clo, vec![Atom::Int(1)]));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let bc = compile_program(&pb.finish()).unwrap();
+        let main_code = &bc.funs[1].code;
+        assert!(main_code
+            .iter()
+            .any(|i| matches!(i, Instr::Closure { .. })));
+        assert!(main_code
+            .iter()
+            .any(|i| matches!(i, Instr::TailCall { .. })));
+        // A direct call elsewhere compiles to TailCallDirect.
+        let mut pb = ProgramBuilder::new();
+        let (f, _) = pb.declare("f", &[]);
+        pb.define(f, term::halt(0));
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::call(f, vec![]));
+        pb.set_entry(main);
+        let bc = compile_program(&pb.finish()).unwrap();
+        assert!(bc.funs[1]
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::TailCallDirect { .. })));
+    }
+}

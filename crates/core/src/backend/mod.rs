@@ -1,0 +1,30 @@
+//! Execution back-ends.
+//!
+//! The paper's MCC elaborates FIR to machine code (IA32 native, plus a
+//! simulated RISC runtime).  This reproduction keeps the same structure with
+//! two back-ends:
+//!
+//! * the **FIR interpreter** (in [`crate::process`]) — the reference
+//!   semantics, used mainly by tests and differential checks;
+//! * the **bytecode backend** (this module) — FIR is *elaborated* into a
+//!   register-machine instruction stream ([`BytecodeProgram`]) which the
+//!   process then executes.  This elaboration step is the stand-in for
+//!   native code generation: it is what the migration server re-runs when a
+//!   process arrives as FIR, and it is what "binary migration" skips by
+//!   shipping the already-compiled program.
+
+mod bytecode;
+mod compile;
+
+pub use bytecode::{BcFun, BytecodeProgram, Const, Instr, Reg};
+pub use compile::{compile_program, CompileError};
+
+/// Which back-end a process uses to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Direct interpretation of the FIR (reference semantics).
+    Interp,
+    /// Execution of the compiled bytecode (the "native" backend).
+    #[default]
+    Bytecode,
+}

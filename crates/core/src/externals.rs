@@ -1,0 +1,484 @@
+//! The external function interface.
+//!
+//! FIR programs reach outside the heap through `LetExt` calls.  The runtime
+//! resolves them against an [`Externals`] implementation:
+//!
+//! * [`DefaultExternals`] provides everything a standalone process needs —
+//!   console output (captured), a clock, deterministic random numbers,
+//!   string helpers, and the **fallible object store** used by the paper's
+//!   Figure-1 Transfer example;
+//! * `mojave-cluster` installs its own implementation that additionally
+//!   wires `msg_send` / `msg_recv` / `node_id` / `num_nodes` to the
+//!   simulated message-passing interface of the grid application, and
+//!   delegates the rest back to [`DefaultExternals`].
+//!
+//! External failures that a program is expected to handle (a failed object
+//! read, a message receive interrupted by a neighbour's failure) are
+//! reported as ordinary return values, because the whole point of the
+//! speculation primitives is to let the program react to them by rolling
+//! back.
+
+use crate::error::RuntimeError;
+use crate::rng::SplitMix64;
+use mojave_heap::{Heap, PtrIdx, Word};
+use std::time::Instant;
+
+/// Return value of `msg_recv` / `obj_*` meaning the operation succeeded.
+pub const MSG_OK: i64 = 0;
+
+/// Return value of `msg_recv` meaning the sender (or a neighbour) failed and
+/// the receiver must roll back its speculation — the `MSG_ROLL` of the
+/// paper's Figure 2.
+pub const MSG_ROLL: i64 = -1;
+
+/// A parsed external call, passed to [`Externals::call`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExtCall<'a> {
+    /// The external function's name.
+    pub name: &'a str,
+    /// Evaluated arguments.
+    pub args: &'a [Word],
+}
+
+/// The external function interface.
+pub trait Externals {
+    /// Perform the call, possibly reading or writing heap blocks referenced
+    /// by the arguments.
+    fn call(&mut self, call: ExtCall<'_>, heap: &mut Heap) -> Result<Word, RuntimeError>;
+
+    /// Heap references the externals hold on to between calls (e.g. object
+    /// store backing blocks).  These are included in the GC root set.
+    fn roots(&self) -> Vec<Word> {
+        Vec::new()
+    }
+
+    /// Lines printed by the program so far (for tests and the `mcc` driver).
+    fn output(&self) -> &[String] {
+        &[]
+    }
+}
+
+/// Handle-addressed store of byte objects used by the Transfer example
+/// (Figure 1).
+///
+/// Objects are ordinary raw heap blocks, so speculative writes to them are
+/// covered by the copy-on-write machinery and an `abort` really does undo a
+/// half-completed transfer.  Reads and writes fail with a configurable
+/// probability; a failed write is *partial* (half the bytes land), which is
+/// precisely the inconsistency the traditional, hand-rolled recovery code in
+/// Figure 1 struggles with.
+#[derive(Debug)]
+pub struct ObjectStore {
+    objects: Vec<PtrIdx>,
+    fail_percent: u32,
+    rng: SplitMix64,
+    /// Counts of injected failures, for tests and the bench harness.
+    pub injected_failures: u64,
+}
+
+impl ObjectStore {
+    /// Create a store with a deterministic failure-injection seed.
+    pub fn new(seed: u64) -> Self {
+        ObjectStore {
+            objects: Vec::new(),
+            fail_percent: 0,
+            rng: SplitMix64::new(seed),
+            injected_failures: 0,
+        }
+    }
+
+    /// Set the per-operation failure probability, in percent.
+    pub fn set_fail_percent(&mut self, percent: u32) {
+        self.fail_percent = percent.min(100);
+    }
+
+    /// Create an object of `size` bytes backed by a fresh raw heap block.
+    pub fn create(&mut self, heap: &mut Heap, size: i64) -> Result<i64, RuntimeError> {
+        let block = heap.alloc_raw(size)?;
+        self.objects.push(block);
+        Ok(self.objects.len() as i64 - 1)
+    }
+
+    fn object(&self, handle: i64) -> Result<PtrIdx, RuntimeError> {
+        self.objects
+            .get(usize::try_from(handle).unwrap_or(usize::MAX))
+            .copied()
+            .ok_or_else(|| RuntimeError::ExternError {
+                name: "obj".into(),
+                message: format!("unknown object handle {handle}"),
+            })
+    }
+
+    fn should_fail(&mut self) -> bool {
+        if self.fail_percent == 0 {
+            return false;
+        }
+        let fail = self.rng.next_below(100) < self.fail_percent as u64;
+        if fail {
+            self.injected_failures += 1;
+        }
+        fail
+    }
+
+    /// Read `k` bytes of object `handle` into the raw block `buf`.
+    /// Returns the number of bytes read; an injected failure reads nothing
+    /// and returns 0.
+    pub fn read(
+        &mut self,
+        heap: &mut Heap,
+        handle: i64,
+        buf: PtrIdx,
+        k: i64,
+    ) -> Result<i64, RuntimeError> {
+        let obj = self.object(handle)?;
+        if self.should_fail() {
+            return Ok(0);
+        }
+        let k = k.max(0) as usize;
+        heap.copy_raw(obj, buf, k)?;
+        Ok(k as i64)
+    }
+
+    /// Write `k` bytes from the raw block `buf` into object `handle`.
+    /// Returns the number of bytes written; an injected failure performs a
+    /// *partial* write of `k / 2` bytes and returns that count.
+    pub fn write(
+        &mut self,
+        heap: &mut Heap,
+        handle: i64,
+        buf: PtrIdx,
+        k: i64,
+    ) -> Result<i64, RuntimeError> {
+        let obj = self.object(handle)?;
+        let k = k.max(0) as usize;
+        if self.should_fail() {
+            let partial = k / 2;
+            heap.copy_raw(buf, obj, partial)?;
+            return Ok(partial as i64);
+        }
+        heap.copy_raw(buf, obj, k)?;
+        Ok(k as i64)
+    }
+
+    /// The heap blocks backing the objects (GC roots).
+    pub fn roots(&self) -> Vec<Word> {
+        self.objects.iter().map(|p| Word::Ptr(*p)).collect()
+    }
+
+    /// Direct access to an object's backing block (used by tests to verify
+    /// atomicity).
+    pub fn object_block(&self, handle: i64) -> Option<PtrIdx> {
+        self.objects.get(handle as usize).copied()
+    }
+}
+
+/// The standard externals for a standalone process.
+#[derive(Debug)]
+pub struct DefaultExternals {
+    output: Vec<String>,
+    start: Instant,
+    rng: SplitMix64,
+    /// The Figure-1 object store.
+    pub objects: ObjectStore,
+    /// Whether to also echo program output to the real stdout (the `mcc run`
+    /// driver turns this on; tests leave it off).
+    pub echo_stdout: bool,
+}
+
+impl Default for DefaultExternals {
+    fn default() -> Self {
+        DefaultExternals::new(0xD5EA5E)
+    }
+}
+
+impl DefaultExternals {
+    /// Create the default externals with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        DefaultExternals {
+            output: Vec::new(),
+            start: Instant::now(),
+            rng: SplitMix64::new(seed),
+            objects: ObjectStore::new(seed ^ 0x9E3779B97F4A7C15),
+            echo_stdout: false,
+        }
+    }
+
+    fn emit(&mut self, line: String) {
+        if self.echo_stdout {
+            println!("{line}");
+        }
+        self.output.push(line);
+    }
+
+    fn arg_int(call: &ExtCall<'_>, i: usize) -> Result<i64, RuntimeError> {
+        call.args
+            .get(i)
+            .and_then(|w| w.as_int())
+            .ok_or_else(|| RuntimeError::ExternError {
+                name: call.name.to_owned(),
+                message: format!("argument {i} must be an int"),
+            })
+    }
+
+    fn arg_ptr(call: &ExtCall<'_>, i: usize) -> Result<PtrIdx, RuntimeError> {
+        call.args
+            .get(i)
+            .and_then(|w| w.as_ptr())
+            .ok_or_else(|| RuntimeError::ExternError {
+                name: call.name.to_owned(),
+                message: format!("argument {i} must be a pointer"),
+            })
+    }
+
+    fn arg_str(call: &ExtCall<'_>, i: usize, heap: &Heap) -> Result<String, RuntimeError> {
+        let ptr = Self::arg_ptr(call, i)?;
+        heap.str_value(ptr).map_err(RuntimeError::from)
+    }
+}
+
+impl Externals for DefaultExternals {
+    fn call(&mut self, call: ExtCall<'_>, heap: &mut Heap) -> Result<Word, RuntimeError> {
+        match call.name {
+            "print_int" => {
+                let v = Self::arg_int(&call, 0)?;
+                self.emit(v.to_string());
+                Ok(Word::Unit)
+            }
+            "print_float" => {
+                let v = call
+                    .args
+                    .first()
+                    .and_then(|w| w.as_float())
+                    .ok_or_else(|| RuntimeError::ExternError {
+                        name: call.name.to_owned(),
+                        message: "argument 0 must be a float".into(),
+                    })?;
+                self.emit(format!("{v}"));
+                Ok(Word::Unit)
+            }
+            "print_str" => {
+                let s = Self::arg_str(&call, 0, heap)?;
+                self.emit(s);
+                Ok(Word::Unit)
+            }
+            "print_char" => {
+                let c = match call.args.first() {
+                    Some(Word::Char(c)) => *c,
+                    _ => {
+                        return Err(RuntimeError::ExternError {
+                            name: call.name.to_owned(),
+                            message: "argument 0 must be a char".into(),
+                        })
+                    }
+                };
+                self.emit(c.to_string());
+                Ok(Word::Unit)
+            }
+            "clock_us" => Ok(Word::Int(self.start.elapsed().as_micros() as i64)),
+            "rand_int" => {
+                let bound = Self::arg_int(&call, 0)?.max(1) as u64;
+                Ok(Word::Int(self.rng.next_below(bound) as i64))
+            }
+            "int_to_str" => {
+                let v = Self::arg_int(&call, 0)?;
+                let ptr = heap.alloc_str(&v.to_string())?;
+                Ok(Word::Ptr(ptr))
+            }
+            "str_concat" => {
+                let a = Self::arg_str(&call, 0, heap)?;
+                let b = Self::arg_str(&call, 1, heap)?;
+                let ptr = heap.alloc_str(&format!("{a}{b}"))?;
+                Ok(Word::Ptr(ptr))
+            }
+            "str_len" => {
+                let s = Self::arg_str(&call, 0, heap)?;
+                Ok(Word::Int(s.len() as i64))
+            }
+            "obj_create" => {
+                let size = Self::arg_int(&call, 0)?;
+                Ok(Word::Int(self.objects.create(heap, size)?))
+            }
+            "obj_read" => {
+                let handle = Self::arg_int(&call, 0)?;
+                let buf = Self::arg_ptr(&call, 1)?;
+                let k = Self::arg_int(&call, 2)?;
+                Ok(Word::Int(self.objects.read(heap, handle, buf, k)?))
+            }
+            "obj_write" => {
+                let handle = Self::arg_int(&call, 0)?;
+                let buf = Self::arg_ptr(&call, 1)?;
+                let k = Self::arg_int(&call, 2)?;
+                Ok(Word::Int(self.objects.write(heap, handle, buf, k)?))
+            }
+            "obj_set_fail_rate" => {
+                let percent = Self::arg_int(&call, 0)?.clamp(0, 100) as u32;
+                self.objects.set_fail_percent(percent);
+                Ok(Word::Unit)
+            }
+            "node_id" => Ok(Word::Int(0)),
+            "num_nodes" => Ok(Word::Int(1)),
+            "inject_failure" | "msg_send" | "msg_recv" => Err(RuntimeError::ExternError {
+                name: call.name.to_owned(),
+                message: "requires a cluster environment (mojave-cluster)".into(),
+            }),
+            other => Err(RuntimeError::UnknownExtern(other.to_owned())),
+        }
+    }
+
+    fn roots(&self) -> Vec<Word> {
+        self.objects.roots()
+    }
+
+    fn output(&self) -> &[String] {
+        &self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call<'a>(name: &'a str, args: &'a [Word]) -> ExtCall<'a> {
+        ExtCall { name, args }
+    }
+
+    #[test]
+    fn print_and_output_capture() {
+        let mut ext = DefaultExternals::default();
+        let mut heap = Heap::new();
+        ext.call(call("print_int", &[Word::Int(7)]), &mut heap).unwrap();
+        let s = heap.alloc_str("hello").unwrap();
+        ext.call(call("print_str", &[Word::Ptr(s)]), &mut heap).unwrap();
+        assert_eq!(ext.output(), &["7".to_owned(), "hello".to_owned()]);
+    }
+
+    #[test]
+    fn string_helpers() {
+        let mut ext = DefaultExternals::default();
+        let mut heap = Heap::new();
+        let a = heap.alloc_str("check").unwrap();
+        let b = heap.alloc_str("point").unwrap();
+        let joined = ext
+            .call(call("str_concat", &[Word::Ptr(a), Word::Ptr(b)]), &mut heap)
+            .unwrap();
+        let ptr = joined.as_ptr().unwrap();
+        assert_eq!(heap.str_value(ptr).unwrap(), "checkpoint");
+        let len = ext
+            .call(call("str_len", &[Word::Ptr(a)]), &mut heap)
+            .unwrap();
+        assert_eq!(len, Word::Int(5));
+    }
+
+    #[test]
+    fn object_store_roundtrip_without_failures() {
+        let mut ext = DefaultExternals::default();
+        let mut heap = Heap::new();
+        let h = ext
+            .call(call("obj_create", &[Word::Int(16)]), &mut heap)
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let buf = heap.alloc_raw(16).unwrap();
+        heap.store_raw(buf, 0, 8, 0xABCD).unwrap();
+        let wrote = ext
+            .call(
+                call("obj_write", &[Word::Int(h), Word::Ptr(buf), Word::Int(16)]),
+                &mut heap,
+            )
+            .unwrap();
+        assert_eq!(wrote, Word::Int(16));
+        let out = heap.alloc_raw(16).unwrap();
+        let read = ext
+            .call(
+                call("obj_read", &[Word::Int(h), Word::Ptr(out), Word::Int(16)]),
+                &mut heap,
+            )
+            .unwrap();
+        assert_eq!(read, Word::Int(16));
+        assert_eq!(heap.load_raw(out, 0, 8).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn object_store_failure_injection_and_partial_writes() {
+        let mut store = ObjectStore::new(11);
+        let mut heap = Heap::new();
+        store.set_fail_percent(100);
+        let h = store.create(&mut heap, 8).unwrap();
+        let buf = heap.alloc_raw(8).unwrap();
+        heap.store_raw(buf, 0, 8, i64::from_le_bytes(*b"AAAAAAAA")).unwrap();
+        // With 100% failure every write is partial (4 of 8 bytes).
+        let wrote = store.write(&mut heap, h, buf, 8).unwrap();
+        assert_eq!(wrote, 4);
+        let obj = store.object_block(h).unwrap();
+        assert_eq!(heap.load_raw(obj, 0, 4).unwrap(), i64::from_le_bytes(*b"AAAA\0\0\0\0") & 0xFFFF_FFFF);
+        assert_eq!(heap.load_raw(obj, 4, 4).unwrap(), 0);
+        // Reads fail outright.
+        let out = heap.alloc_raw(8).unwrap();
+        assert_eq!(store.read(&mut heap, h, out, 8).unwrap(), 0);
+        assert!(store.injected_failures >= 2);
+    }
+
+    #[test]
+    fn object_store_roots_are_reported() {
+        let mut ext = DefaultExternals::default();
+        let mut heap = Heap::new();
+        ext.call(call("obj_create", &[Word::Int(4)]), &mut heap).unwrap();
+        ext.call(call("obj_create", &[Word::Int(4)]), &mut heap).unwrap();
+        assert_eq!(ext.roots().len(), 2);
+        assert!(ext.roots().iter().all(|w| w.is_ptr()));
+    }
+
+    #[test]
+    fn unknown_and_cluster_only_externals() {
+        let mut ext = DefaultExternals::default();
+        let mut heap = Heap::new();
+        assert!(matches!(
+            ext.call(call("no_such", &[]), &mut heap),
+            Err(RuntimeError::UnknownExtern(_))
+        ));
+        assert!(matches!(
+            ext.call(call("msg_send", &[]), &mut heap),
+            Err(RuntimeError::ExternError { .. })
+        ));
+    }
+
+    #[test]
+    fn rand_and_clock_behave() {
+        let mut ext = DefaultExternals::new(3);
+        let mut heap = Heap::new();
+        for _ in 0..100 {
+            let v = ext
+                .call(call("rand_int", &[Word::Int(10)]), &mut heap)
+                .unwrap()
+                .as_int()
+                .unwrap();
+            assert!((0..10).contains(&v));
+        }
+        let t = ext
+            .call(call("clock_us", &[]), &mut heap)
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(t >= 0);
+    }
+
+    #[test]
+    fn bad_argument_kinds_reported() {
+        let mut ext = DefaultExternals::default();
+        let mut heap = Heap::new();
+        assert!(matches!(
+            ext.call(call("print_int", &[Word::Bool(true)]), &mut heap),
+            Err(RuntimeError::ExternError { .. })
+        ));
+        assert!(matches!(
+            ext.call(call("obj_read", &[Word::Int(0), Word::Int(1), Word::Int(2)]), &mut heap),
+            Err(RuntimeError::ExternError { .. })
+        ));
+    }
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        ObjectStore::new(0x0B1EC7)
+    }
+}

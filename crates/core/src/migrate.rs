@@ -1,0 +1,425 @@
+//! Whole-process migration: images, protocols and delivery sinks
+//! (paper §4.2).
+//!
+//! Migration is split into the three operations the paper names:
+//!
+//! * **pack** — capture the entire process state.  [`crate::Process::pack`]
+//!   garbage-collects, stores the live variables into a fresh
+//!   `migrate_env` block, and produces a [`MigrationImage`] holding the
+//!   code (FIR, or compiled bytecode for *binary* migration), the pointer
+//!   table, the heap blocks and the resume continuation.
+//! * **transmit** — hand the image to a [`MigrationSink`].  A standalone
+//!   process uses [`InMemorySink`] (checkpoint files in a
+//!   [`CheckpointStore`]); the cluster crate provides a sink that routes
+//!   `migrate://node` targets through the simulated network to a migration
+//!   daemon.
+//! * **unpack** — [`crate::Process::from_image`] verifies the image
+//!   (type-checks the FIR — the safety step that makes migration viable
+//!   between machines that do not trust each other), recompiles it for the
+//!   local backend, rebuilds the heap and resumes at the saved
+//!   continuation.
+
+use crate::backend::BytecodeProgram;
+use crate::error::RuntimeError;
+use mojave_fir::{MigrateProtocol, Program};
+use mojave_heap::{Heap, HeapConfig, PtrIdx, Word};
+use mojave_wire::{SectionTag, WireCodec, WireError, WireReader, WireWriter};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The code section of a migration image.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackedCode {
+    /// The machine-independent FIR — the normal case.  The destination
+    /// type-checks and recompiles it (paper §4.2.2: "MCC never migrates the
+    /// actual executable text").
+    Fir(Program),
+    /// Already-compiled bytecode — "binary" migration.  Cheaper to resume
+    /// (no recompilation) but only accepted by a machine with the same
+    /// architecture tag, and unverifiable by the destination.
+    Binary {
+        /// Architecture the code was compiled for.
+        arch: String,
+        /// The compiled program.
+        bytecode: BytecodeProgram,
+    },
+}
+
+impl PackedCode {
+    /// Whether this is a binary (pre-compiled) image.
+    pub fn is_binary(&self) -> bool {
+        matches!(self, PackedCode::Binary { .. })
+    }
+}
+
+/// A complete, self-contained image of a process: everything needed to
+/// resume it on any machine (or later in time, for checkpoints — the paper
+/// formats checkpoints as executable files; ours are executable by
+/// `mcc resume <file>` or [`crate::Process::from_image`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationImage {
+    /// Architecture tag of the machine that packed the image.
+    pub source_arch: String,
+    /// The code section.
+    pub code: PackedCode,
+    /// Encoded heap (pointer table + blocks), produced by
+    /// `Heap::encode_image`.
+    pub heap_image: Vec<u8>,
+    /// Pointer to the `migrate_env` block holding the live variables.
+    pub migrate_env: PtrIdx,
+    /// The continuation to call on resume (`Word::Fun` or a closure
+    /// pointer).
+    pub resume_fun: Word,
+    /// The migration label `i` identifying the migration call site.
+    pub label: u32,
+    /// Number of speculation levels that were open when the image was
+    /// packed (informational; open speculations do not survive migration —
+    /// the grid application commits before checkpointing for this reason).
+    pub open_speculations: u32,
+}
+
+impl MigrationImage {
+    /// Total image size in bytes once serialised (used by the network model
+    /// and by the migration experiments).
+    pub fn byte_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serialise the image to the canonical wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.heap_image.len() + 1024);
+        w.write_header(&self.source_arch);
+        match &self.code {
+            PackedCode::Fir(program) => {
+                w.write_section(SectionTag::FirProgram);
+                program.encode(&mut w);
+            }
+            PackedCode::Binary { arch, bytecode } => {
+                w.write_section(SectionTag::Bytecode);
+                w.write_str(arch);
+                bytecode.encode(&mut w);
+            }
+        }
+        w.write_section(SectionTag::HeapBlocks);
+        w.write_bytes(&self.heap_image);
+        w.write_section(SectionTag::MigrateEnv);
+        w.write_uvarint(self.migrate_env.0 as u64);
+        w.write_section(SectionTag::Resume);
+        self.resume_fun.encode(&mut w);
+        w.write_uvarint(self.label as u64);
+        w.write_section(SectionTag::Speculation);
+        w.write_uvarint(self.open_speculations as u64);
+        w.into_bytes()
+    }
+
+    /// Decode an image, rejecting corrupted or version-mismatched input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let source_arch = r.read_header()?;
+        let tag = r.read_u8()?;
+        let code = match SectionTag::from_u8(tag) {
+            Some(SectionTag::FirProgram) => PackedCode::Fir(Program::decode(&mut r)?),
+            Some(SectionTag::Bytecode) => PackedCode::Binary {
+                arch: r.read_str()?.to_owned(),
+                bytecode: BytecodeProgram::decode(&mut r)?,
+            },
+            _ => {
+                return Err(WireError::SectionMismatch {
+                    expected: "FirProgram or Bytecode",
+                    found: tag,
+                })
+            }
+        };
+        r.expect_section(SectionTag::HeapBlocks)?;
+        let heap_image = r.read_bytes()?.to_vec();
+        r.expect_section(SectionTag::MigrateEnv)?;
+        let migrate_env = PtrIdx(r.read_uvarint()? as u32);
+        r.expect_section(SectionTag::Resume)?;
+        let resume_fun = Word::decode(&mut r)?;
+        let label = r.read_uvarint()? as u32;
+        r.expect_section(SectionTag::Speculation)?;
+        let open_speculations = r.read_uvarint()? as u32;
+        if !r.is_empty() {
+            return Err(WireError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(MigrationImage {
+            source_arch,
+            code,
+            heap_image,
+            migrate_env,
+            resume_fun,
+            label,
+            open_speculations,
+        })
+    }
+
+    /// Decode the heap section into a fresh heap.
+    pub fn decode_heap(&self, config: HeapConfig) -> Result<Heap, RuntimeError> {
+        let mut r = WireReader::new(&self.heap_image);
+        let heap = Heap::decode_image(&mut r, config)?;
+        if !r.is_empty() {
+            return Err(RuntimeError::Image(WireError::TrailingBytes {
+                remaining: r.remaining(),
+            }));
+        }
+        Ok(heap)
+    }
+}
+
+/// A migration image together with the protocol and target it was packed
+/// for — the unit the cluster transport moves between nodes.
+#[derive(Debug, Clone)]
+pub struct PackedProcess {
+    /// The protocol parsed from the target string.
+    pub protocol: MigrateProtocol,
+    /// The target (node name or checkpoint path, without the scheme).
+    pub target: String,
+    /// Serialised image bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl PackedProcess {
+    /// Decode the carried image.
+    pub fn image(&self) -> Result<MigrationImage, WireError> {
+        MigrationImage::from_bytes(&self.bytes)
+    }
+}
+
+/// What happened when an image was handed to a [`MigrationSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The process now runs elsewhere; the local copy must terminate.
+    Migrated,
+    /// The image was durably stored (checkpoint/suspend file written).
+    Stored,
+    /// Delivery failed; the process continues on the source machine
+    /// (paper: "if migration fails for any reason, the process will continue
+    /// to execute on the original machine").
+    Failed(String),
+}
+
+/// Where packed images go: checkpoint files, a migration daemon on another
+/// node, etc.
+pub trait MigrationSink {
+    /// Deliver an image according to the protocol.
+    fn deliver(
+        &mut self,
+        protocol: MigrateProtocol,
+        target: &str,
+        image: &MigrationImage,
+    ) -> DeliveryOutcome;
+}
+
+/// A named store of checkpoint images — the stand-in for the paper's
+/// "reliable and distributed storage medium" (their cluster used an NFS
+/// mount).  Cloning shares the underlying store, so tests and the cluster's
+/// resurrection daemon can read what processes wrote.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Atomically store (replace) a named image.
+    pub fn put(&self, name: &str, bytes: Vec<u8>) {
+        self.inner
+            .lock()
+            .expect("checkpoint store lock")
+            .insert(name.to_owned(), bytes);
+    }
+
+    /// Fetch a named image.
+    pub fn get(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .expect("checkpoint store lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Load and decode a named image.
+    pub fn load(&self, name: &str) -> Result<MigrationImage, RuntimeError> {
+        let bytes = self.get(name).ok_or_else(|| {
+            RuntimeError::MigrationRejected(format!("no checkpoint named `{name}`"))
+        })?;
+        Ok(MigrationImage::from_bytes(&bytes)?)
+    }
+
+    /// Names of all stored images, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .lock()
+            .expect("checkpoint store lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of stored images.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("checkpoint store lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove a named image, returning whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("checkpoint store lock")
+            .remove(name)
+            .is_some()
+    }
+}
+
+/// The default sink for standalone processes: checkpoints and suspends go to
+/// a [`CheckpointStore`]; `migrate://` targets fail (there is no cluster),
+/// so the process keeps running locally, as the paper specifies.
+#[derive(Debug, Clone, Default)]
+pub struct InMemorySink {
+    store: CheckpointStore,
+}
+
+impl InMemorySink {
+    /// A sink writing into a fresh store.
+    pub fn new() -> Self {
+        InMemorySink::default()
+    }
+
+    /// A sink writing into an existing (shared) store.
+    pub fn with_store(store: CheckpointStore) -> Self {
+        InMemorySink { store }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> CheckpointStore {
+        self.store.clone()
+    }
+}
+
+impl MigrationSink for InMemorySink {
+    fn deliver(
+        &mut self,
+        protocol: MigrateProtocol,
+        target: &str,
+        image: &MigrationImage,
+    ) -> DeliveryOutcome {
+        match protocol {
+            MigrateProtocol::Checkpoint | MigrateProtocol::Suspend => {
+                self.store.put(target, image.to_bytes());
+                DeliveryOutcome::Stored
+            }
+            MigrateProtocol::Migrate => DeliveryOutcome::Failed(
+                "no migration server reachable from a standalone process".to_owned(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mojave_fir::builder::{term, ProgramBuilder};
+
+    fn tiny_image() -> MigrationImage {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::halt(0));
+        pb.set_entry(main);
+        let program = pb.finish();
+
+        let mut heap = Heap::new();
+        let env = heap.alloc_migrate_env(vec![Word::Int(5)]).unwrap();
+        let mut w = WireWriter::new();
+        heap.encode_image(&mut w);
+
+        MigrationImage {
+            source_arch: "ia32-sim".into(),
+            code: PackedCode::Fir(program),
+            heap_image: w.into_bytes(),
+            migrate_env: env,
+            resume_fun: Word::Fun(0),
+            label: 3,
+            open_speculations: 0,
+        }
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let image = tiny_image();
+        let bytes = image.to_bytes();
+        let back = MigrationImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back, image);
+        assert_eq!(back.byte_size(), bytes.len());
+    }
+
+    #[test]
+    fn corrupted_image_rejected_without_panic() {
+        let image = tiny_image();
+        let mut bytes = image.to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(MigrationImage::from_bytes(&bytes).is_err());
+        let truncated = &image.to_bytes()[..10];
+        assert!(MigrationImage::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn heap_section_decodes() {
+        let image = tiny_image();
+        let heap = image.decode_heap(HeapConfig::default()).unwrap();
+        assert_eq!(heap.load(image.migrate_env, 0).unwrap(), Word::Int(5));
+    }
+
+    #[test]
+    fn checkpoint_store_put_get_list() {
+        let store = CheckpointStore::new();
+        assert!(store.is_empty());
+        store.put("ck-1", vec![1, 2, 3]);
+        store.put("ck-0", vec![4]);
+        assert_eq!(store.get("ck-1").unwrap(), vec![1, 2, 3]);
+        assert_eq!(store.names(), vec!["ck-0".to_owned(), "ck-1".to_owned()]);
+        assert_eq!(store.len(), 2);
+        // Shared across clones.
+        let other = store.clone();
+        other.put("ck-2", vec![9]);
+        assert_eq!(store.len(), 3);
+        assert!(store.remove("ck-2"));
+        assert!(!store.remove("ck-2"));
+    }
+
+    #[test]
+    fn in_memory_sink_behaviour_per_protocol() {
+        let mut sink = InMemorySink::new();
+        let image = tiny_image();
+        assert_eq!(
+            sink.deliver(MigrateProtocol::Checkpoint, "steps/ck-10", &image),
+            DeliveryOutcome::Stored
+        );
+        assert_eq!(
+            sink.deliver(MigrateProtocol::Suspend, "final", &image),
+            DeliveryOutcome::Stored
+        );
+        assert!(matches!(
+            sink.deliver(MigrateProtocol::Migrate, "node3", &image),
+            DeliveryOutcome::Failed(_)
+        ));
+        let store = sink.store();
+        assert_eq!(store.names(), vec!["final".to_owned(), "steps/ck-10".to_owned()]);
+        let loaded = store.load("final").unwrap();
+        assert_eq!(loaded, image);
+        assert!(store.load("missing").is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! A small deterministic PRNG.
+//!
+//! Every stochastic element of the reproduction (failure injection, the
+//! fallible object store, workload generators) draws from this generator so
+//! that experiments are reproducible from a seed — `rand` is deliberately
+//! not used (see DESIGN.md §6).
+
+/// SplitMix64: tiny, fast, good-enough statistical quality for failure
+/// injection and workload shuffling (not for cryptography).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.  Returns 0 when `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded generation (Lemire); bias is negligible for
+        // the bounds used here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.next_below(10) < 10);
+        }
+        assert_eq!(rng.next_below(0), 0);
+        assert_eq!(rng.next_below(1), 0);
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SplitMix64::new(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Rough sanity check of the distribution.
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "hits={hits}");
+    }
+}
+
+impl Default for SplitMix64 {
+    /// A fixed default seed; use [`SplitMix64::new`] for experiment-specific
+    /// seeds.
+    fn default() -> Self {
+        SplitMix64::new(0x5EED_0F42)
+    }
+}

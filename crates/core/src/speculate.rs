@@ -1,0 +1,177 @@
+//! The speculation manager: the control-flow half of the speculation
+//! primitives (paper §4.3).
+//!
+//! The heap owns the *data* half (copy-on-write checkpoint records); this
+//! module owns the *continuations*: for every open level, the function and
+//! arguments that `speculate` captured, so that `rollback [l, c]` can
+//! re-enter the computation at the point level `l` was entered, passing the
+//! new rollback code `c`.
+
+use mojave_heap::Word;
+
+/// The saved continuation of one speculation level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecEntry {
+    /// The continuation value: a direct function (`Word::Fun`) or a closure
+    /// pointer (`Word::Ptr`).
+    pub fun: Word,
+    /// The arguments originally supplied to `speculate`, *excluding* the
+    /// leading rollback-code parameter (which is synthesised as 0 on entry
+    /// and as the rollback code on re-entry).
+    pub args: Vec<Word>,
+    /// How many times this level has been re-entered by a rollback; useful
+    /// for diagnostics and for tests that bound retry loops.
+    pub reentries: u32,
+}
+
+/// Tracks the continuations of all open speculation levels, oldest first
+/// (level 1 is index 0), mirroring the level numbering of the heap's
+/// checkpoint records.
+#[derive(Debug, Clone, Default)]
+pub struct SpeculationManager {
+    entries: Vec<SpecEntry>,
+}
+
+impl SpeculationManager {
+    /// No open speculations.
+    pub fn new() -> Self {
+        SpeculationManager::default()
+    }
+
+    /// Number of open levels.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Record entry into a new level; returns the 1-based level number.
+    pub fn enter(&mut self, fun: Word, args: Vec<Word>) -> usize {
+        self.entries.push(SpecEntry {
+            fun,
+            args,
+            reentries: 0,
+        });
+        self.entries.len()
+    }
+
+    /// Whether `level` (1-based) is currently open.
+    pub fn is_open(&self, level: usize) -> bool {
+        level >= 1 && level <= self.entries.len()
+    }
+
+    /// Remove the record for a committed level; younger levels renumber down
+    /// by one, mirroring `Heap::spec_commit`.
+    pub fn commit(&mut self, level: usize) -> Option<SpecEntry> {
+        if !self.is_open(level) {
+            return None;
+        }
+        Some(self.entries.remove(level - 1))
+    }
+
+    /// Roll back to `level`: drop every younger level and return the saved
+    /// continuation for `level` with its re-entry counter bumped.  The caller
+    /// is expected to re-enter the level (the paper's retry semantics), which
+    /// it does by calling [`SpeculationManager::reenter`].
+    pub fn rollback(&mut self, level: usize) -> Option<SpecEntry> {
+        if !self.is_open(level) {
+            return None;
+        }
+        self.entries.truncate(level);
+        let mut entry = self.entries.pop().expect("level exists");
+        entry.reentries += 1;
+        Some(entry)
+    }
+
+    /// Push a re-entered level back as the current top (paper §4.3.1: "level
+    /// l is automatically re-entered after it has been rolled back").
+    pub fn reenter(&mut self, entry: SpecEntry) -> usize {
+        self.entries.push(entry);
+        self.entries.len()
+    }
+
+    /// The entry for an open level (1-based), for diagnostics.
+    pub fn entry(&self, level: usize) -> Option<&SpecEntry> {
+        if self.is_open(level) {
+            self.entries.get(level - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Every word held by saved continuations — these are GC roots: the
+    /// arguments must survive until the level is committed, because a
+    /// rollback re-supplies them to the continuation.
+    pub fn roots(&self) -> Vec<Word> {
+        let mut roots = Vec::new();
+        for entry in &self.entries {
+            roots.push(entry.fun);
+            roots.extend(entry.args.iter().copied());
+        }
+        roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_numbers_levels_from_one() {
+        let mut mgr = SpeculationManager::new();
+        assert_eq!(mgr.enter(Word::Fun(0), vec![]), 1);
+        assert_eq!(mgr.enter(Word::Fun(1), vec![Word::Int(3)]), 2);
+        assert_eq!(mgr.depth(), 2);
+        assert!(mgr.is_open(1));
+        assert!(mgr.is_open(2));
+        assert!(!mgr.is_open(3));
+        assert!(!mgr.is_open(0));
+    }
+
+    #[test]
+    fn commit_renumbers_younger_levels() {
+        let mut mgr = SpeculationManager::new();
+        mgr.enter(Word::Fun(0), vec![]);
+        mgr.enter(Word::Fun(1), vec![]);
+        mgr.enter(Word::Fun(2), vec![]);
+        let committed = mgr.commit(1).unwrap();
+        assert_eq!(committed.fun, Word::Fun(0));
+        assert_eq!(mgr.depth(), 2);
+        // The old level 2 is now level 1.
+        assert_eq!(mgr.entry(1).unwrap().fun, Word::Fun(1));
+        assert!(mgr.commit(5).is_none());
+    }
+
+    #[test]
+    fn rollback_drops_younger_levels_and_counts_reentries() {
+        let mut mgr = SpeculationManager::new();
+        mgr.enter(Word::Fun(0), vec![Word::Int(1)]);
+        mgr.enter(Word::Fun(1), vec![]);
+        mgr.enter(Word::Fun(2), vec![]);
+        let entry = mgr.rollback(1).unwrap();
+        assert_eq!(entry.fun, Word::Fun(0));
+        assert_eq!(entry.reentries, 1);
+        assert_eq!(mgr.depth(), 0);
+        let level = mgr.reenter(entry);
+        assert_eq!(level, 1);
+        let again = mgr.rollback(1).unwrap();
+        assert_eq!(again.reentries, 2);
+    }
+
+    #[test]
+    fn roots_cover_saved_continuations() {
+        let mut mgr = SpeculationManager::new();
+        mgr.enter(Word::Fun(3), vec![Word::Int(9), Word::Ptr(mojave_heap::PtrIdx(4))]);
+        let roots = mgr.roots();
+        assert!(roots.contains(&Word::Fun(3)));
+        assert!(roots.contains(&Word::Ptr(mojave_heap::PtrIdx(4))));
+        assert_eq!(roots.len(), 3);
+    }
+
+    #[test]
+    fn rollback_of_unopened_level_is_none() {
+        let mut mgr = SpeculationManager::new();
+        assert!(mgr.rollback(1).is_none());
+        mgr.enter(Word::Fun(0), vec![]);
+        assert!(mgr.rollback(2).is_none());
+        assert_eq!(mgr.depth(), 1);
+    }
+}

@@ -1,0 +1,523 @@
+//! Ergonomic construction of FIR programs.
+//!
+//! Building CPS terms by hand nests continuations ever deeper to the right,
+//! which is painful to read and write.  The builder offers:
+//!
+//! * [`ProgramBuilder`] — declare-then-define top-level functions so that
+//!   mutually recursive functions (the FIR encoding of loops) are easy to
+//!   construct;
+//! * [`FunBuilder`] — accumulate straight-line bindings imperatively and
+//!   finish with a terminator, which the builder folds into the proper
+//!   right-nested expression tree.
+//!
+//! The MojaveC lowering pass, the examples and large parts of the test
+//! suites are written against this API.
+
+use crate::atom::{Atom, FunId, Label, VarId};
+use crate::expr::{Binop, Expr, Unop};
+use crate::program::{FunDef, Program};
+use crate::types::Ty;
+
+/// Builder for a whole [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            program: Program::new(),
+        }
+    }
+
+    /// Declare a function, returning its id and the [`VarId`]s of its
+    /// parameters.  The body is a placeholder until [`Self::define`] is
+    /// called, which allows forward references and recursion.
+    pub fn declare(&mut self, name: &str, params: &[(&str, Ty)]) -> (FunId, Vec<VarId>) {
+        let id = FunId(self.program.funs.len() as u32);
+        let param_vars: Vec<(VarId, Ty)> = params
+            .iter()
+            .map(|(n, t)| (self.program.fresh_named_var(n), t.clone()))
+            .collect();
+        let vars = param_vars.iter().map(|(v, _)| *v).collect();
+        self.program.funs.push(FunDef {
+            id,
+            name: name.to_owned(),
+            params: param_vars,
+            // Placeholder body; `define` must replace it.
+            body: Expr::Halt {
+                value: Atom::Int(0),
+            },
+        });
+        (id, vars)
+    }
+
+    /// Provide the body of a previously declared function.
+    ///
+    /// # Panics
+    /// Panics if `id` was not returned by [`Self::declare`].
+    pub fn define(&mut self, id: FunId, body: Expr) {
+        self.program
+            .funs
+            .get_mut(id.0 as usize)
+            .expect("define: unknown function id")
+            .body = body;
+    }
+
+    /// Declare and define in one step (for non-recursive functions).
+    pub fn function(&mut self, name: &str, params: &[(&str, Ty)], body: Expr) -> FunId {
+        let (id, _) = self.declare(name, params);
+        self.define(id, body);
+        id
+    }
+
+    /// Mark the entry function.
+    pub fn set_entry(&mut self, id: FunId) {
+        self.program.entry = id;
+    }
+
+    /// Allocate a fresh (optionally named) variable.
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.program.fresh_named_var(name)
+    }
+
+    /// Allocate a fresh anonymous variable.
+    pub fn tmp(&mut self) -> VarId {
+        self.program.fresh_var()
+    }
+
+    /// Allocate a fresh migration label.
+    pub fn label(&mut self) -> Label {
+        self.program.fresh_label()
+    }
+
+    /// Start a straight-line code block builder.
+    pub fn block(&mut self) -> FunBuilder<'_> {
+        FunBuilder {
+            prog: &mut self.program,
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Finish and return the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+
+    /// Read-only access to the program built so far.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// One straight-line binding recorded by a [`FunBuilder`].
+#[derive(Debug, Clone)]
+enum Stmt {
+    Atom(VarId, Ty, Atom),
+    Unop(VarId, Unop, Atom),
+    Binop(VarId, Binop, Atom, Atom),
+    Alloc(VarId, Ty, Atom, Atom),
+    AllocRaw(VarId, Atom),
+    Tuple(VarId, Vec<Atom>),
+    Closure(VarId, FunId, Vec<Atom>, Vec<Ty>),
+    Load(VarId, Ty, Atom, Atom),
+    Store(Atom, Atom, Atom),
+    LoadRaw(VarId, u8, Atom, Atom),
+    StoreRaw(u8, Atom, Atom, Atom),
+    Len(VarId, Atom),
+    Ext(VarId, Ty, String, Vec<Atom>),
+}
+
+/// Accumulates straight-line bindings and folds them over a terminator.
+///
+/// ```
+/// use mojave_fir::{ProgramBuilder, Ty, Atom, Expr, Binop};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let (main, _) = pb.declare("main", &[]);
+/// let mut b = pb.block();
+/// let x = b.binop("x", Binop::Add, Atom::Int(40), Atom::Int(2));
+/// let body = b.finish(Expr::Halt { value: Atom::Var(x) });
+/// pb.define(main, body);
+/// pb.set_entry(main);
+/// let program = pb.finish();
+/// assert_eq!(program.size(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FunBuilder<'a> {
+    prog: &'a mut Program,
+    stmts: Vec<Stmt>,
+}
+
+impl<'a> FunBuilder<'a> {
+    fn fresh(&mut self, name: &str) -> VarId {
+        self.prog.fresh_named_var(name)
+    }
+
+    /// Bind `atom` to a fresh variable of type `ty`.
+    pub fn atom(&mut self, name: &str, ty: Ty, atom: impl Into<Atom>) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts.push(Stmt::Atom(dst, ty, atom.into()));
+        dst
+    }
+
+    /// Bind an integer constant.
+    pub fn int(&mut self, name: &str, v: i64) -> VarId {
+        self.atom(name, Ty::Int, Atom::Int(v))
+    }
+
+    /// Apply a unary operator.
+    pub fn unop(&mut self, name: &str, op: Unop, arg: impl Into<Atom>) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts.push(Stmt::Unop(dst, op, arg.into()));
+        dst
+    }
+
+    /// Apply a binary operator.
+    pub fn binop(
+        &mut self,
+        name: &str,
+        op: Binop,
+        lhs: impl Into<Atom>,
+        rhs: impl Into<Atom>,
+    ) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts.push(Stmt::Binop(dst, op, lhs.into(), rhs.into()));
+        dst
+    }
+
+    /// Allocate a typed array block.
+    pub fn alloc(
+        &mut self,
+        name: &str,
+        elem: Ty,
+        len: impl Into<Atom>,
+        init: impl Into<Atom>,
+    ) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts
+            .push(Stmt::Alloc(dst, elem, len.into(), init.into()));
+        dst
+    }
+
+    /// Allocate a raw byte block.
+    pub fn alloc_raw(&mut self, name: &str, size: impl Into<Atom>) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts.push(Stmt::AllocRaw(dst, size.into()));
+        dst
+    }
+
+    /// Allocate a tuple block.
+    pub fn tuple(&mut self, name: &str, args: Vec<Atom>) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts.push(Stmt::Tuple(dst, args));
+        dst
+    }
+
+    /// Allocate a closure block.
+    pub fn closure(
+        &mut self,
+        name: &str,
+        fun: FunId,
+        captured: Vec<Atom>,
+        arg_tys: Vec<Ty>,
+    ) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts.push(Stmt::Closure(dst, fun, captured, arg_tys));
+        dst
+    }
+
+    /// Load an element from a typed block.
+    pub fn load(
+        &mut self,
+        name: &str,
+        ty: Ty,
+        ptr: impl Into<Atom>,
+        index: impl Into<Atom>,
+    ) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts.push(Stmt::Load(dst, ty, ptr.into(), index.into()));
+        dst
+    }
+
+    /// Store an element into a typed block.
+    pub fn store(&mut self, ptr: impl Into<Atom>, index: impl Into<Atom>, value: impl Into<Atom>) {
+        self.stmts
+            .push(Stmt::Store(ptr.into(), index.into(), value.into()));
+    }
+
+    /// Load bytes from a raw block.
+    pub fn load_raw(
+        &mut self,
+        name: &str,
+        width: u8,
+        ptr: impl Into<Atom>,
+        offset: impl Into<Atom>,
+    ) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts
+            .push(Stmt::LoadRaw(dst, width, ptr.into(), offset.into()));
+        dst
+    }
+
+    /// Store bytes into a raw block.
+    pub fn store_raw(
+        &mut self,
+        width: u8,
+        ptr: impl Into<Atom>,
+        offset: impl Into<Atom>,
+        value: impl Into<Atom>,
+    ) {
+        self.stmts
+            .push(Stmt::StoreRaw(width, ptr.into(), offset.into(), value.into()));
+    }
+
+    /// Length of a block.
+    pub fn len(&mut self, name: &str, ptr: impl Into<Atom>) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts.push(Stmt::Len(dst, ptr.into()));
+        dst
+    }
+
+    /// Call an external function.
+    pub fn ext(&mut self, name: &str, ty: Ty, ext_name: &str, args: Vec<Atom>) -> VarId {
+        let dst = self.fresh(name);
+        self.stmts
+            .push(Stmt::Ext(dst, ty, ext_name.to_owned(), args));
+        dst
+    }
+
+    /// Allocate a fresh variable without binding it (for use in a terminator
+    /// constructed by the caller).
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.fresh(name)
+    }
+
+    /// Fold the accumulated bindings over `tail`, producing the final
+    /// right-nested CPS expression.
+    pub fn finish(self, tail: Expr) -> Expr {
+        let mut expr = tail;
+        for stmt in self.stmts.into_iter().rev() {
+            expr = match stmt {
+                Stmt::Atom(dst, ty, atom) => Expr::LetAtom {
+                    dst,
+                    ty,
+                    atom,
+                    body: Box::new(expr),
+                },
+                Stmt::Unop(dst, op, arg) => Expr::LetUnop {
+                    dst,
+                    op,
+                    arg,
+                    body: Box::new(expr),
+                },
+                Stmt::Binop(dst, op, lhs, rhs) => Expr::LetBinop {
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    body: Box::new(expr),
+                },
+                Stmt::Alloc(dst, elem, len, init) => Expr::LetAlloc {
+                    dst,
+                    elem,
+                    len,
+                    init,
+                    body: Box::new(expr),
+                },
+                Stmt::AllocRaw(dst, size) => Expr::LetAllocRaw {
+                    dst,
+                    size,
+                    body: Box::new(expr),
+                },
+                Stmt::Tuple(dst, args) => Expr::LetTuple {
+                    dst,
+                    args,
+                    body: Box::new(expr),
+                },
+                Stmt::Closure(dst, fun, captured, arg_tys) => Expr::LetClosure {
+                    dst,
+                    fun,
+                    captured,
+                    arg_tys,
+                    body: Box::new(expr),
+                },
+                Stmt::Load(dst, ty, ptr, index) => Expr::LetLoad {
+                    dst,
+                    ty,
+                    ptr,
+                    index,
+                    body: Box::new(expr),
+                },
+                Stmt::Store(ptr, index, value) => Expr::Store {
+                    ptr,
+                    index,
+                    value,
+                    body: Box::new(expr),
+                },
+                Stmt::LoadRaw(dst, width, ptr, offset) => Expr::LetLoadRaw {
+                    dst,
+                    width,
+                    ptr,
+                    offset,
+                    body: Box::new(expr),
+                },
+                Stmt::StoreRaw(width, ptr, offset, value) => Expr::StoreRaw {
+                    width,
+                    ptr,
+                    offset,
+                    value,
+                    body: Box::new(expr),
+                },
+                Stmt::Len(dst, ptr) => Expr::LetLen {
+                    dst,
+                    ptr,
+                    body: Box::new(expr),
+                },
+                Stmt::Ext(dst, ty, name, args) => Expr::LetExt {
+                    dst,
+                    ty,
+                    name,
+                    args,
+                    body: Box::new(expr),
+                },
+            };
+        }
+        expr
+    }
+}
+
+/// Convenience constructors for terminators, re-exported for symmetry with
+/// the binding helpers on [`FunBuilder`].
+pub mod term {
+    use super::*;
+
+    /// `halt value`.
+    pub fn halt(value: impl Into<Atom>) -> Expr {
+        Expr::Halt {
+            value: value.into(),
+        }
+    }
+
+    /// Tail call a direct function.
+    pub fn call(fun: FunId, args: Vec<Atom>) -> Expr {
+        Expr::TailCall {
+            target: Atom::Fun(fun),
+            args,
+        }
+    }
+
+    /// Tail call a closure or function held in a variable.
+    pub fn call_var(target: VarId, args: Vec<Atom>) -> Expr {
+        Expr::TailCall {
+            target: Atom::Var(target),
+            args,
+        }
+    }
+
+    /// Two-way branch.
+    pub fn branch(cond: impl Into<Atom>, then_: Expr, else_: Expr) -> Expr {
+        Expr::If {
+            cond: cond.into(),
+            then_: Box::new(then_),
+            else_: Box::new(else_),
+        }
+    }
+
+    /// Enter a new speculation level and continue in `fun`.
+    pub fn speculate(fun: FunId, args: Vec<Atom>) -> Expr {
+        Expr::Speculate {
+            fun: Atom::Fun(fun),
+            args,
+        }
+    }
+
+    /// Commit a speculation level and continue in `fun`.
+    pub fn commit(level: impl Into<Atom>, fun: FunId, args: Vec<Atom>) -> Expr {
+        Expr::Commit {
+            level: level.into(),
+            fun: Atom::Fun(fun),
+            args,
+        }
+    }
+
+    /// Roll back to a speculation level.
+    pub fn rollback(level: impl Into<Atom>, code: impl Into<Atom>) -> Expr {
+        Expr::Rollback {
+            level: level.into(),
+            code: code.into(),
+        }
+    }
+
+    /// Migrate/checkpoint/suspend and continue in `fun`.
+    pub fn migrate(label: Label, target: impl Into<Atom>, fun: FunId, args: Vec<Atom>) -> Expr {
+        Expr::Migrate {
+            label,
+            target: target.into(),
+            fun: Atom::Fun(fun),
+            args,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_builder_folds_in_order() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let a = b.int("a", 1);
+        let c = b.binop("c", Binop::Add, a, Atom::Int(2));
+        let body = b.finish(term::halt(c));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let p = pb.finish();
+        // The first statement must be the outermost binding.
+        match &p.entry_fun().body {
+            Expr::LetAtom { dst, .. } => assert_eq!(*dst, a),
+            other => panic!("expected LetAtom at the head, got {other:?}"),
+        }
+        assert_eq!(p.size(), 3);
+    }
+
+    #[test]
+    fn declare_then_define_supports_recursion() {
+        let mut pb = ProgramBuilder::new();
+        let (loop_fn, params) = pb.declare("loop", &[("i", Ty::Int)]);
+        let i = params[0];
+        let mut b = pb.block();
+        let done = b.binop("done", Binop::Ge, i, Atom::Int(10));
+        let next = b.binop("next", Binop::Add, i, Atom::Int(1));
+        let body = b.finish(term::branch(
+            done,
+            term::halt(i),
+            term::call(loop_fn, vec![Atom::Var(next)]),
+        ));
+        pb.define(loop_fn, body);
+        pb.set_entry(loop_fn);
+        let p = pb.finish();
+        assert_eq!(p.fun(loop_fn).unwrap().name, "loop");
+        assert_eq!(p.entry, loop_fn);
+    }
+
+    #[test]
+    fn param_names_are_recorded() {
+        let mut pb = ProgramBuilder::new();
+        let (_, params) = pb.declare("f", &[("rows", Ty::Int), ("cols", Ty::Int)]);
+        let p = pb.finish();
+        assert_eq!(p.var_name(params[0]), "rows");
+        assert_eq!(p.var_name(params[1]), "cols");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown function id")]
+    fn define_unknown_function_panics() {
+        let mut pb = ProgramBuilder::new();
+        pb.define(FunId(3), term::halt(0));
+    }
+}

@@ -1,0 +1,231 @@
+//! A stable pretty-printer for FIR programs.
+//!
+//! The output is meant for humans (compiler debugging, `mcc inspect`) and for
+//! golden tests; it is *not* the migration format (that is [`crate::wire`]).
+
+use crate::expr::Expr;
+use crate::program::{FunDef, Program};
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for fun in &program.funs {
+        let marker = if fun.id == program.entry { " (entry)" } else { "" };
+        let _ = writeln!(out, "fun {} {}{}:", fun.id, fun.name, marker);
+        let _ = write_params(&mut out, fun);
+        write_expr(&mut out, &fun.body, 1);
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn write_params(out: &mut String, fun: &FunDef) -> std::fmt::Result {
+    write!(out, "  params(")?;
+    for (i, (v, t)) in fun.params.iter().enumerate() {
+        if i > 0 {
+            write!(out, ", ")?;
+        }
+        write!(out, "{v}: {t}")?;
+    }
+    writeln!(out, ")")
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn atoms(list: &[crate::atom::Atom]) -> String {
+    list.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn write_expr(out: &mut String, expr: &Expr, depth: usize) {
+    indent(out, depth);
+    match expr {
+        Expr::LetAtom { dst, ty, atom, body } => {
+            let _ = writeln!(out, "let {dst}: {ty} = {atom}");
+            write_expr(out, body, depth);
+        }
+        Expr::LetUnop { dst, op, arg, body } => {
+            let _ = writeln!(out, "let {dst} = {}({arg})", op.mnemonic());
+            write_expr(out, body, depth);
+        }
+        Expr::LetBinop {
+            dst,
+            op,
+            lhs,
+            rhs,
+            body,
+        } => {
+            let _ = writeln!(out, "let {dst} = {}({lhs}, {rhs})", op.mnemonic());
+            write_expr(out, body, depth);
+        }
+        Expr::LetAlloc {
+            dst,
+            elem,
+            len,
+            init,
+            body,
+        } => {
+            let _ = writeln!(out, "let {dst} = alloc<{elem}>({len}, {init})");
+            write_expr(out, body, depth);
+        }
+        Expr::LetAllocRaw { dst, size, body } => {
+            let _ = writeln!(out, "let {dst} = alloc_raw({size})");
+            write_expr(out, body, depth);
+        }
+        Expr::LetTuple { dst, args, body } => {
+            let _ = writeln!(out, "let {dst} = tuple({})", atoms(args));
+            write_expr(out, body, depth);
+        }
+        Expr::LetClosure {
+            dst,
+            fun,
+            captured,
+            arg_tys,
+            body,
+        } => {
+            let tys = arg_tys
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "let {dst} = closure {fun} [{}] : clo({tys})", atoms(captured));
+            write_expr(out, body, depth);
+        }
+        Expr::LetLoad {
+            dst,
+            ty,
+            ptr,
+            index,
+            body,
+        } => {
+            let _ = writeln!(out, "let {dst}: {ty} = {ptr}[{index}]");
+            write_expr(out, body, depth);
+        }
+        Expr::Store {
+            ptr,
+            index,
+            value,
+            body,
+        } => {
+            let _ = writeln!(out, "{ptr}[{index}] <- {value}");
+            write_expr(out, body, depth);
+        }
+        Expr::LetLoadRaw {
+            dst,
+            width,
+            ptr,
+            offset,
+            body,
+        } => {
+            let _ = writeln!(out, "let {dst} = load_raw{width}({ptr}, {offset})");
+            write_expr(out, body, depth);
+        }
+        Expr::StoreRaw {
+            width,
+            ptr,
+            offset,
+            value,
+            body,
+        } => {
+            let _ = writeln!(out, "store_raw{width}({ptr}, {offset}, {value})");
+            write_expr(out, body, depth);
+        }
+        Expr::LetLen { dst, ptr, body } => {
+            let _ = writeln!(out, "let {dst} = length({ptr})");
+            write_expr(out, body, depth);
+        }
+        Expr::LetExt {
+            dst,
+            ty,
+            name,
+            args,
+            body,
+        } => {
+            let _ = writeln!(out, "let {dst}: {ty} = extern {name}({})", atoms(args));
+            write_expr(out, body, depth);
+        }
+        Expr::If { cond, then_, else_ } => {
+            let _ = writeln!(out, "if {cond} then");
+            write_expr(out, then_, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "else");
+            write_expr(out, else_, depth + 1);
+        }
+        Expr::TailCall { target, args } => {
+            let _ = writeln!(out, "call {target}({})", atoms(args));
+        }
+        Expr::Halt { value } => {
+            let _ = writeln!(out, "halt {value}");
+        }
+        Expr::Migrate {
+            label,
+            target,
+            fun,
+            args,
+        } => {
+            let _ = writeln!(out, "migrate [{label}, {target}] {fun}({})", atoms(args));
+        }
+        Expr::Speculate { fun, args } => {
+            let _ = writeln!(out, "speculate {fun}(c, {})", atoms(args));
+        }
+        Expr::Commit { level, fun, args } => {
+            let _ = writeln!(out, "commit [{level}] {fun}({})", atoms(args));
+        }
+        Expr::Rollback { level, code } => {
+            let _ = writeln!(out, "rollback [{level}, {code}]");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{term, ProgramBuilder};
+    use crate::{Atom, Binop, Ty};
+
+    #[test]
+    fn renders_main_with_speculation() {
+        let mut pb = ProgramBuilder::new();
+        let (cont, cparams) = pb.declare("body", &[("c", Ty::Int)]);
+        pb.define(cont, term::halt(cparams[0]));
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::speculate(cont, vec![]));
+        pb.set_entry(main);
+        let text = program_to_string(&pb.finish());
+        assert!(text.contains("fun f1 main (entry):"));
+        assert!(text.contains("speculate f0(c, )"));
+        assert!(text.contains("halt v0"));
+    }
+
+    #[test]
+    fn renders_control_flow_with_indentation() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let c = b.binop("c", Binop::Lt, Atom::Int(1), Atom::Int(2));
+        let body = b.finish(term::branch(c, term::halt(1), term::halt(0)));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let text = program_to_string(&pb.finish());
+        assert!(text.contains("if v0 then"));
+        assert!(text.contains("    halt 1"));
+        assert!(text.contains("  else"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::halt(7));
+        pb.set_entry(main);
+        let p = pb.finish();
+        assert_eq!(program_to_string(&p), program_to_string(&p.clone()));
+    }
+}

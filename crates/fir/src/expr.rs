@@ -1,0 +1,742 @@
+//! CPS expression forms, including the migration and speculation
+//! pseudo-instructions.
+
+use crate::atom::{Atom, FunId, Label, VarId};
+use crate::types::Ty;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unop {
+    /// Integer negation.
+    Neg,
+    /// Float negation.
+    FNeg,
+    /// Boolean negation.
+    Not,
+    /// Bitwise complement of an integer.
+    BNot,
+    /// Convert an integer to a float.
+    FloatOfInt,
+    /// Truncate a float to an integer.
+    IntOfFloat,
+    /// The code point of a character.
+    IntOfChar,
+    /// The character with the given code point (checked at runtime).
+    CharOfInt,
+}
+
+impl Unop {
+    /// Operand type and result type of the operator.
+    pub fn signature(self) -> (Ty, Ty) {
+        match self {
+            Unop::Neg => (Ty::Int, Ty::Int),
+            Unop::FNeg => (Ty::Float, Ty::Float),
+            Unop::Not => (Ty::Bool, Ty::Bool),
+            Unop::BNot => (Ty::Int, Ty::Int),
+            Unop::FloatOfInt => (Ty::Int, Ty::Float),
+            Unop::IntOfFloat => (Ty::Float, Ty::Int),
+            Unop::IntOfChar => (Ty::Char, Ty::Int),
+            Unop::CharOfInt => (Ty::Int, Ty::Char),
+        }
+    }
+
+    /// Stable mnemonic used by the pretty printer and the wire format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Unop::Neg => "neg",
+            Unop::FNeg => "fneg",
+            Unop::Not => "not",
+            Unop::BNot => "bnot",
+            Unop::FloatOfInt => "float_of_int",
+            Unop::IntOfFloat => "int_of_float",
+            Unop::IntOfChar => "int_of_char",
+            Unop::CharOfInt => "char_of_int",
+        }
+    }
+
+    /// All unary operators (used by property tests and the wire decoder).
+    pub const ALL: [Unop; 8] = [
+        Unop::Neg,
+        Unop::FNeg,
+        Unop::Not,
+        Unop::BNot,
+        Unop::FloatOfInt,
+        Unop::IntOfFloat,
+        Unop::IntOfChar,
+        Unop::CharOfInt,
+    ];
+}
+
+/// Binary operators.
+///
+/// Arithmetic operators are overloaded over `Int` and `Float` (both operands
+/// must have the same type); comparisons additionally accept `Char` and
+/// `Bool` and always produce `Bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binop {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division traps on zero at runtime).
+    Div,
+    /// Remainder (integer only).
+    Rem,
+    /// Bitwise and (integer only).
+    BAnd,
+    /// Bitwise or (integer only).
+    BOr,
+    /// Bitwise xor (integer only).
+    BXor,
+    /// Left shift (integer only).
+    Shl,
+    /// Arithmetic right shift (integer only).
+    Shr,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl Binop {
+    /// Whether the operator is a comparison producing `Bool`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            Binop::Eq | Binop::Ne | Binop::Lt | Binop::Le | Binop::Gt | Binop::Ge
+        )
+    }
+
+    /// Whether the operator only makes sense on integers.
+    pub fn is_integer_only(self) -> bool {
+        matches!(
+            self,
+            Binop::Rem | Binop::BAnd | Binop::BOr | Binop::BXor | Binop::Shl | Binop::Shr
+        )
+    }
+
+    /// Stable mnemonic used by the pretty printer and the wire format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Binop::Add => "add",
+            Binop::Sub => "sub",
+            Binop::Mul => "mul",
+            Binop::Div => "div",
+            Binop::Rem => "rem",
+            Binop::BAnd => "band",
+            Binop::BOr => "bor",
+            Binop::BXor => "bxor",
+            Binop::Shl => "shl",
+            Binop::Shr => "shr",
+            Binop::Eq => "eq",
+            Binop::Ne => "ne",
+            Binop::Lt => "lt",
+            Binop::Le => "le",
+            Binop::Gt => "gt",
+            Binop::Ge => "ge",
+        }
+    }
+
+    /// All binary operators (used by property tests and the wire decoder).
+    pub const ALL: [Binop; 16] = [
+        Binop::Add,
+        Binop::Sub,
+        Binop::Mul,
+        Binop::Div,
+        Binop::Rem,
+        Binop::BAnd,
+        Binop::BOr,
+        Binop::BXor,
+        Binop::Shl,
+        Binop::Shr,
+        Binop::Eq,
+        Binop::Ne,
+        Binop::Lt,
+        Binop::Le,
+        Binop::Gt,
+        Binop::Ge,
+    ];
+}
+
+/// The three migration protocols of paper §4.2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrateProtocol {
+    /// Send the entire process state to another machine for immediate
+    /// execution and terminate the process on the source machine.  If the
+    /// migration fails, the process continues on the source machine (the
+    /// process is indifferent to where it runs).
+    Migrate,
+    /// Write the process state to a file and terminate the process if the
+    /// write succeeded.
+    Suspend,
+    /// Write the process state to a file and *continue running* regardless.
+    /// This is the protocol the grid application uses for periodic
+    /// checkpoints.
+    Checkpoint,
+}
+
+impl MigrateProtocol {
+    /// Parse the protocol prefix of a migration target string.
+    ///
+    /// Target strings look like `"migrate://node3"`,
+    /// `"checkpoint://steps/ck-0100"` or `"suspend://ck-final"` — the paper
+    /// says the string "includes information on what protocol to use to
+    /// transfer state to the target".
+    pub fn parse_target(target: &str) -> Option<(MigrateProtocol, &str)> {
+        let (proto, rest) = target.split_once("://")?;
+        let proto = match proto {
+            "migrate" => MigrateProtocol::Migrate,
+            "suspend" => MigrateProtocol::Suspend,
+            "checkpoint" => MigrateProtocol::Checkpoint,
+            _ => return None,
+        };
+        Some((proto, rest))
+    }
+
+    /// Scheme prefix used when rendering a target string.
+    pub fn scheme(self) -> &'static str {
+        match self {
+            MigrateProtocol::Migrate => "migrate",
+            MigrateProtocol::Suspend => "suspend",
+            MigrateProtocol::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+impl fmt::Display for MigrateProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.scheme())
+    }
+}
+
+/// CPS expressions.
+///
+/// Every expression either binds a fresh immutable variable and continues
+/// with `body`, or transfers control (tail call, branch, halt, or one of the
+/// migration/speculation pseudo-instructions).  There is no `return`: source
+/// level returns become tail calls of a continuation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `let dst : ty = atom in body` — bind a variable to an atom.
+    LetAtom {
+        /// Destination variable.
+        dst: VarId,
+        /// Declared type of the binding.
+        ty: Ty,
+        /// Source atom.
+        atom: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst = op a in body`.
+    LetUnop {
+        /// Destination variable.
+        dst: VarId,
+        /// The operator.
+        op: Unop,
+        /// Operand.
+        arg: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst = a op b in body`.
+    LetBinop {
+        /// Destination variable.
+        dst: VarId,
+        /// The operator.
+        op: Binop,
+        /// Left operand.
+        lhs: Atom,
+        /// Right operand.
+        rhs: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst = alloc_array<elem>(len, init) in body` — allocate a typed
+    /// heap block of `len` elements, all set to `init`.
+    LetAlloc {
+        /// Destination variable (receives a `Ptr<elem>`).
+        dst: VarId,
+        /// Element type.
+        elem: Ty,
+        /// Number of elements.
+        len: Atom,
+        /// Initial value for every element.
+        init: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst = alloc_raw(size) in body` — allocate an untyped data block
+    /// of `size` bytes, zero-filled.  This is the representation of C
+    /// buffers.
+    LetAllocRaw {
+        /// Destination variable (receives a `Raw` pointer).
+        dst: VarId,
+        /// Size in bytes.
+        size: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst = tuple(args) in body` — allocate a tuple block holding the
+    /// given atoms.  Tuples are how aggregates (structs, message payloads,
+    /// the migrate environment) are represented.
+    LetTuple {
+        /// Destination variable (receives a `Ptr<Any>`).
+        dst: VarId,
+        /// Tuple fields.
+        args: Vec<Atom>,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst = closure f [captured…] in body` — allocate a closure block
+    /// for function `f` capturing the given atoms.  Calling the closure
+    /// passes the closure pointer as the function's first argument.
+    LetClosure {
+        /// Destination variable (receives a `Closure` value).
+        dst: VarId,
+        /// Target function.
+        fun: FunId,
+        /// Captured values stored in the closure environment.
+        captured: Vec<Atom>,
+        /// Argument types the closure expects when invoked (excluding the
+        /// implicit environment argument).
+        arg_tys: Vec<Ty>,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst : ty = ptr[index] in body` — read an element from a typed
+    /// heap block.  The backend inserts pointer-table and bounds checks
+    /// (paper §4.1.1).
+    LetLoad {
+        /// Destination variable.
+        dst: VarId,
+        /// Declared element type.
+        ty: Ty,
+        /// Block pointer.
+        ptr: Atom,
+        /// Element index.
+        index: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `ptr[index] <- value; body` — write an element of a typed heap block.
+    /// Under an open speculation this triggers the copy-on-write machinery.
+    Store {
+        /// Block pointer.
+        ptr: Atom,
+        /// Element index.
+        index: Atom,
+        /// Value to store.
+        value: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst = load_raw<width>(ptr, offset) in body` — read `width` bytes
+    /// (1, 4 or 8) at a byte offset of a raw block, little-endian,
+    /// zero-extended into an `Int`.
+    LetLoadRaw {
+        /// Destination variable.
+        dst: VarId,
+        /// Access width in bytes (1, 4 or 8).
+        width: u8,
+        /// Raw block pointer.
+        ptr: Atom,
+        /// Byte offset.
+        offset: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `store_raw<width>(ptr, offset, value); body` — write the low `width`
+    /// bytes of an integer at a byte offset of a raw block.
+    StoreRaw {
+        /// Access width in bytes (1, 4 or 8).
+        width: u8,
+        /// Raw block pointer.
+        ptr: Atom,
+        /// Byte offset.
+        offset: Atom,
+        /// Integer value whose low bytes are stored.
+        value: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst = length(ptr) in body` — number of elements of a typed block
+    /// or bytes of a raw block.
+    LetLen {
+        /// Destination variable (receives an `Int`).
+        dst: VarId,
+        /// Block pointer.
+        ptr: Atom,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let dst : ty = extern name(args) in body` — call into the runtime's
+    /// external function interface (console I/O, message passing, the
+    /// fallible object store of the Transfer example, clocks …).
+    LetExt {
+        /// Destination variable.
+        dst: VarId,
+        /// Declared result type.
+        ty: Ty,
+        /// External function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Atom>,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `if cond then … else …`.
+    If {
+        /// Condition (must be `Bool`).
+        cond: Atom,
+        /// Taken when the condition is true.
+        then_: Box<Expr>,
+        /// Taken when the condition is false.
+        else_: Box<Expr>,
+    },
+    /// Tail call.  `target` is either a direct function reference or a
+    /// variable holding a closure.  Control never returns.
+    TailCall {
+        /// Callee.
+        target: Atom,
+        /// Arguments.
+        args: Vec<Atom>,
+    },
+    /// Stop the process with an integer exit value.
+    Halt {
+        /// Exit value.
+        value: Atom,
+    },
+    /// The migration pseudo-instruction of paper §4.2.1:
+    /// `migrate [label, target] f(args…)`.
+    ///
+    /// The runtime packs the entire process state, ships it according to the
+    /// protocol encoded in `target`, and (conceptually) resumes by calling
+    /// `f(args…)` — on the destination machine for the `migrate` protocol, on
+    /// the same machine for `checkpoint`, or when the checkpoint file is
+    /// later executed for `suspend`.
+    Migrate {
+        /// Unique label correlating runtime and FIR execution points.
+        label: Label,
+        /// Target string, e.g. `"checkpoint://ck-0100"` (may be a variable).
+        target: Atom,
+        /// Continuation function.
+        fun: Atom,
+        /// Continuation arguments — exactly the live variables across the
+        /// migration point; the runtime packs them into `migrate_env`.
+        args: Vec<Atom>,
+    },
+    /// The speculation-entry pseudo-instruction of paper §4.3.1:
+    /// `speculate f(c, args…)`.
+    ///
+    /// Enters a new speculation level and calls `f` with `c = 0` on initial
+    /// entry.  If the level is later rolled back, `f` is re-entered with the
+    /// original `args` and the rollback code as `c` — this is "the only way
+    /// to carry state information across a rollback".
+    Speculate {
+        /// Continuation function; its first parameter receives `c`.
+        fun: Atom,
+        /// Remaining arguments (the live variables at speculation entry).
+        args: Vec<Atom>,
+    },
+    /// `commit [level] f(args…)` — fold all changes of `level` into the
+    /// enclosing level (or make them permanent if `level` is the oldest),
+    /// then continue with `f(args…)`.
+    Commit {
+        /// Speculation level to commit (an `Int` atom, 1-based).
+        level: Atom,
+        /// Continuation function.
+        fun: Atom,
+        /// Continuation arguments.
+        args: Vec<Atom>,
+    },
+    /// `rollback [level, code]` — abort `level` and every younger level,
+    /// restore the heap to the state at entry of `level`, and re-enter the
+    /// saved continuation with `c = code`.
+    Rollback {
+        /// Speculation level to roll back to (an `Int` atom, 1-based).
+        level: Atom,
+        /// Code passed to the re-entered continuation.
+        code: Atom,
+    },
+}
+
+impl Expr {
+    /// Visit every atom read by the *head* instruction of this expression
+    /// (not the continuations).
+    pub fn head_atoms(&self, mut f: impl FnMut(&Atom)) {
+        match self {
+            Expr::LetAtom { atom, .. } => f(atom),
+            Expr::LetUnop { arg, .. } => f(arg),
+            Expr::LetBinop { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Expr::LetAlloc { len, init, .. } => {
+                f(len);
+                f(init);
+            }
+            Expr::LetAllocRaw { size, .. } => f(size),
+            Expr::LetTuple { args, .. } => args.iter().for_each(f),
+            Expr::LetClosure { captured, .. } => captured.iter().for_each(f),
+            Expr::LetLoad { ptr, index, .. } => {
+                f(ptr);
+                f(index);
+            }
+            Expr::Store {
+                ptr, index, value, ..
+            } => {
+                f(ptr);
+                f(index);
+                f(value);
+            }
+            Expr::LetLoadRaw { ptr, offset, .. } => {
+                f(ptr);
+                f(offset);
+            }
+            Expr::StoreRaw {
+                ptr, offset, value, ..
+            } => {
+                f(ptr);
+                f(offset);
+                f(value);
+            }
+            Expr::LetLen { ptr, .. } => f(ptr),
+            Expr::LetExt { args, .. } => args.iter().for_each(f),
+            Expr::If { cond, .. } => f(cond),
+            Expr::TailCall { target, args } => {
+                f(target);
+                args.iter().for_each(f);
+            }
+            Expr::Halt { value } => f(value),
+            Expr::Migrate {
+                target, fun, args, ..
+            } => {
+                f(target);
+                f(fun);
+                args.iter().for_each(f);
+            }
+            Expr::Speculate { fun, args } => {
+                f(fun);
+                args.iter().for_each(f);
+            }
+            Expr::Commit { level, fun, args } => {
+                f(level);
+                f(fun);
+                args.iter().for_each(f);
+            }
+            Expr::Rollback { level, code } => {
+                f(level);
+                f(code);
+            }
+        }
+    }
+
+    /// The variable bound by the head instruction, if any.
+    pub fn head_binding(&self) -> Option<VarId> {
+        match self {
+            Expr::LetAtom { dst, .. }
+            | Expr::LetUnop { dst, .. }
+            | Expr::LetBinop { dst, .. }
+            | Expr::LetAlloc { dst, .. }
+            | Expr::LetAllocRaw { dst, .. }
+            | Expr::LetTuple { dst, .. }
+            | Expr::LetClosure { dst, .. }
+            | Expr::LetLoad { dst, .. }
+            | Expr::LetLoadRaw { dst, .. }
+            | Expr::LetLen { dst, .. }
+            | Expr::LetExt { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Immediate sub-expressions (continuations / branches).
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::LetAtom { body, .. }
+            | Expr::LetUnop { body, .. }
+            | Expr::LetBinop { body, .. }
+            | Expr::LetAlloc { body, .. }
+            | Expr::LetAllocRaw { body, .. }
+            | Expr::LetTuple { body, .. }
+            | Expr::LetClosure { body, .. }
+            | Expr::LetLoad { body, .. }
+            | Expr::Store { body, .. }
+            | Expr::LetLoadRaw { body, .. }
+            | Expr::StoreRaw { body, .. }
+            | Expr::LetLen { body, .. }
+            | Expr::LetExt { body, .. } => vec![body],
+            Expr::If { then_, else_, .. } => vec![then_, else_],
+            Expr::TailCall { .. }
+            | Expr::Halt { .. }
+            | Expr::Migrate { .. }
+            | Expr::Speculate { .. }
+            | Expr::Commit { .. }
+            | Expr::Rollback { .. } => vec![],
+        }
+    }
+
+    /// Total number of expression nodes (used by diagnostics and the
+    /// compilation-cost model of the bench harness).
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Free variables of the whole expression tree, in first-use order,
+    /// deduplicated.
+    pub fn free_vars(&self) -> Vec<VarId> {
+        fn go(e: &Expr, bound: &mut Vec<VarId>, free: &mut Vec<VarId>) {
+            e.head_atoms(|a| {
+                if let Atom::Var(v) = a {
+                    if !bound.contains(v) && !free.contains(v) {
+                        free.push(*v);
+                    }
+                }
+            });
+            let binding = e.head_binding();
+            if let Some(v) = binding {
+                bound.push(v);
+            }
+            for child in e.children() {
+                go(child, bound, free);
+            }
+            if binding.is_some() {
+                bound.pop();
+            }
+        }
+        let mut free = Vec::new();
+        go(self, &mut Vec::new(), &mut free);
+        free
+    }
+
+    /// Collect every migration label appearing in the expression.
+    pub fn migrate_labels(&self, out: &mut Vec<Label>) {
+        if let Expr::Migrate { label, .. } = self {
+            out.push(*label);
+        }
+        for child in self.children() {
+            child.migrate_labels(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // let v1 = v0 + 1 in if v1 > 10 then halt v1 else f0(v1)
+        Expr::LetBinop {
+            dst: VarId(1),
+            op: Binop::Add,
+            lhs: Atom::Var(VarId(0)),
+            rhs: Atom::Int(1),
+            body: Box::new(Expr::LetBinop {
+                dst: VarId(2),
+                op: Binop::Gt,
+                lhs: Atom::Var(VarId(1)),
+                rhs: Atom::Int(10),
+                body: Box::new(Expr::If {
+                    cond: Atom::Var(VarId(2)),
+                    then_: Box::new(Expr::Halt {
+                        value: Atom::Var(VarId(1)),
+                    }),
+                    else_: Box::new(Expr::TailCall {
+                        target: Atom::Fun(FunId(0)),
+                        args: vec![Atom::Var(VarId(1))],
+                    }),
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn size_counts_all_nodes() {
+        assert_eq!(sample().size(), 5);
+    }
+
+    #[test]
+    fn free_vars_exclude_bound() {
+        assert_eq!(sample().free_vars(), vec![VarId(0)]);
+    }
+
+    #[test]
+    fn free_vars_respect_shadowing_scope() {
+        // let v1 = 1 in halt v1  — v1 is not free.
+        let e = Expr::LetAtom {
+            dst: VarId(1),
+            ty: Ty::Int,
+            atom: Atom::Int(1),
+            body: Box::new(Expr::Halt {
+                value: Atom::Var(VarId(1)),
+            }),
+        };
+        assert!(e.free_vars().is_empty());
+    }
+
+    #[test]
+    fn migrate_labels_collected() {
+        let e = Expr::Migrate {
+            label: Label(7),
+            target: Atom::Str("checkpoint://x".into()),
+            fun: Atom::Fun(FunId(1)),
+            args: vec![],
+        };
+        let mut labels = Vec::new();
+        e.migrate_labels(&mut labels);
+        assert_eq!(labels, vec![Label(7)]);
+    }
+
+    #[test]
+    fn protocol_parsing() {
+        assert_eq!(
+            MigrateProtocol::parse_target("migrate://node3"),
+            Some((MigrateProtocol::Migrate, "node3"))
+        );
+        assert_eq!(
+            MigrateProtocol::parse_target("checkpoint://steps/ck-1"),
+            Some((MigrateProtocol::Checkpoint, "steps/ck-1"))
+        );
+        assert_eq!(
+            MigrateProtocol::parse_target("suspend://final"),
+            Some((MigrateProtocol::Suspend, "final"))
+        );
+        assert_eq!(MigrateProtocol::parse_target("ftp://x"), None);
+        assert_eq!(MigrateProtocol::parse_target("no-scheme"), None);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(Binop::Eq.is_comparison());
+        assert!(!Binop::Add.is_comparison());
+        assert!(Binop::Shl.is_integer_only());
+        assert!(!Binop::Mul.is_integer_only());
+    }
+
+    #[test]
+    fn unop_signatures() {
+        assert_eq!(Unop::FloatOfInt.signature(), (Ty::Int, Ty::Float));
+        assert_eq!(Unop::Not.signature(), (Ty::Bool, Ty::Bool));
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut names: Vec<_> = Binop::ALL.iter().map(|b| b.mnemonic()).collect();
+        names.extend(Unop::ALL.iter().map(|u| u.mnemonic()));
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

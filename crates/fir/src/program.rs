@@ -1,0 +1,186 @@
+//! Whole FIR programs: function definitions, the function table and the
+//! entry point.
+
+use crate::atom::{FunId, Label, VarId};
+use crate::expr::Expr;
+use crate::types::Ty;
+use std::collections::HashMap;
+
+/// A top-level FIR function.
+///
+/// Functions never return: the body either halts, loops via tail calls, or
+/// transfers control through one of the migration/speculation
+/// pseudo-instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDef {
+    /// The function's identifier (also its index in the function table).
+    pub id: FunId,
+    /// Human-readable name, kept for diagnostics and stable pretty-printing.
+    pub name: String,
+    /// Parameters with their declared types.
+    pub params: Vec<(VarId, Ty)>,
+    /// The body expression.
+    pub body: Expr,
+}
+
+impl FunDef {
+    /// Parameter types in order.
+    pub fn param_tys(&self) -> Vec<Ty> {
+        self.params.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+/// A complete FIR program.
+///
+/// The function list doubles as the runtime *function table* (paper §4.1):
+/// function values in the heap are stored as indices into this table, which
+/// is what allows closures to migrate between machines without any pointer
+/// translation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// All functions, indexed by their [`FunId`].
+    pub funs: Vec<FunDef>,
+    /// The entry function (conventionally called `main`); it receives no
+    /// arguments.
+    pub entry: FunId,
+    /// The next fresh variable id.  Builders and lowering passes allocate
+    /// variables from this counter so that ids are unique program-wide,
+    /// which keeps register allocation in the backend trivial.
+    pub next_var: u32,
+    /// The next fresh migration label.
+    pub next_label: u32,
+    /// Optional debug names for variables (source-level identifiers).
+    pub var_names: HashMap<VarId, String>,
+}
+
+impl Program {
+    /// Create an empty program; the entry point must be set before use.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Look up a function by id.
+    pub fn fun(&self, id: FunId) -> Option<&FunDef> {
+        self.funs.get(id.0 as usize)
+    }
+
+    /// Look up a function by name (first match).
+    pub fn fun_by_name(&self, name: &str) -> Option<&FunDef> {
+        self.funs.iter().find(|f| f.name == name)
+    }
+
+    /// The entry function definition.
+    ///
+    /// # Panics
+    /// Panics if the entry id is dangling; [`crate::validate`] rejects such
+    /// programs before they reach the runtime.
+    pub fn entry_fun(&self) -> &FunDef {
+        self.fun(self.entry).expect("entry function exists")
+    }
+
+    /// Allocate a fresh variable.
+    pub fn fresh_var(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Allocate a fresh variable with a debug name.
+    pub fn fresh_named_var(&mut self, name: &str) -> VarId {
+        let v = self.fresh_var();
+        self.var_names.insert(v, name.to_owned());
+        v
+    }
+
+    /// Allocate a fresh migration label.
+    pub fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Total number of expression nodes across all functions — a
+    /// machine-independent measure of program size used by the
+    /// recompilation-cost experiments.
+    pub fn size(&self) -> usize {
+        self.funs.iter().map(|f| f.body.size()).sum()
+    }
+
+    /// Every migration label in the program, in definition order.
+    pub fn migrate_labels(&self) -> Vec<Label> {
+        let mut labels = Vec::new();
+        for f in &self.funs {
+            f.body.migrate_labels(&mut labels);
+        }
+        labels
+    }
+
+    /// The debug name of a variable, falling back to its numeric form.
+    pub fn var_name(&self, v: VarId) -> String {
+        self.var_names
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    fn tiny_program() -> Program {
+        let mut p = Program::new();
+        let ret = p.fresh_var();
+        p.funs.push(FunDef {
+            id: FunId(0),
+            name: "main".into(),
+            params: vec![],
+            body: Expr::LetAtom {
+                dst: ret,
+                ty: Ty::Int,
+                atom: Atom::Int(0),
+                body: Box::new(Expr::Halt {
+                    value: Atom::Var(ret),
+                }),
+            },
+        });
+        p.entry = FunId(0);
+        p
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let p = tiny_program();
+        assert!(p.fun(FunId(0)).is_some());
+        assert!(p.fun(FunId(9)).is_none());
+        assert_eq!(p.fun_by_name("main").unwrap().id, FunId(0));
+        assert!(p.fun_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn fresh_vars_are_unique() {
+        let mut p = tiny_program();
+        let a = p.fresh_var();
+        let b = p.fresh_var();
+        assert_ne!(a, b);
+        let l1 = p.fresh_label();
+        let l2 = p.fresh_label();
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn named_vars_resolve() {
+        let mut p = tiny_program();
+        let v = p.fresh_named_var("step");
+        assert_eq!(p.var_name(v), "step");
+        let anon = p.fresh_var();
+        assert_eq!(p.var_name(anon), anon.to_string());
+    }
+
+    #[test]
+    fn program_size_counts_nodes() {
+        let p = tiny_program();
+        assert_eq!(p.size(), 2);
+    }
+}

@@ -1,0 +1,752 @@
+//! The FIR type checker.
+//!
+//! The paper's safety story for migration over untrusted networks rests on
+//! the destination machine being able to *verify* an inbound program before
+//! running it (§3, §4.2).  This module is that verifier: it is run by the
+//! front end after lowering, by the runtime before execution, and again by
+//! the migration server on every unpacked image.
+
+use crate::atom::{Atom, VarId};
+use crate::expr::{Binop, Expr};
+use crate::externs::ExternEnv;
+use crate::program::{FunDef, Program};
+use crate::types::Ty;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A type error, annotated with the function it occurred in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// Name of the function containing the ill-typed expression.
+    pub fun: String,
+    /// What went wrong.
+    pub kind: TypeErrorKind,
+}
+
+/// The kinds of type errors the checker reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeErrorKind {
+    /// A variable was read before being bound.
+    UnboundVar(VarId),
+    /// A variable was bound twice (FIR variables are single-assignment).
+    Rebound(VarId),
+    /// Two types did not match.
+    Mismatch {
+        /// What the context required.
+        expected: Ty,
+        /// What was found.
+        found: Ty,
+        /// Human-readable description of the position.
+        context: String,
+    },
+    /// A call had the wrong number of arguments.
+    ArityMismatch {
+        /// Description of the callee.
+        callee: String,
+        /// Number of parameters the callee declares.
+        expected: usize,
+        /// Number of arguments supplied.
+        found: usize,
+    },
+    /// An external function is not known to the checker.
+    UnknownExtern(String),
+    /// A `FunId` does not refer to any function in the program.
+    UnknownFunction(u32),
+    /// A raw access used a width other than 1, 4 or 8.
+    BadRawWidth(u8),
+    /// A callee atom was not callable (not a function or closure).
+    NotCallable(Ty),
+    /// A pointer-typed operand was required.
+    NotAPointer(Ty),
+    /// The operand types are not valid for the operator.
+    BadOperands {
+        /// The operator's mnemonic.
+        op: &'static str,
+        /// Left/only operand type.
+        lhs: Ty,
+        /// Right operand type (same as `lhs` for unary operators).
+        rhs: Ty,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in function `{}`: ", self.fun)?;
+        match &self.kind {
+            TypeErrorKind::UnboundVar(v) => write!(f, "unbound variable {v}"),
+            TypeErrorKind::Rebound(v) => write!(f, "variable {v} bound more than once"),
+            TypeErrorKind::Mismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            TypeErrorKind::ArityMismatch {
+                callee,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch calling {callee}: expected {expected} arguments, found {found}"
+            ),
+            TypeErrorKind::UnknownExtern(name) => write!(f, "unknown external function `{name}`"),
+            TypeErrorKind::UnknownFunction(id) => write!(f, "unknown function id f{id}"),
+            TypeErrorKind::BadRawWidth(w) => {
+                write!(f, "raw access width must be 1, 4 or 8, found {w}")
+            }
+            TypeErrorKind::NotCallable(ty) => write!(f, "value of type {ty} is not callable"),
+            TypeErrorKind::NotAPointer(ty) => write!(f, "expected a pointer, found {ty}"),
+            TypeErrorKind::BadOperands { op, lhs, rhs } => {
+                write!(f, "operator `{op}` cannot be applied to {lhs} and {rhs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+struct Checker<'a> {
+    program: &'a Program,
+    externs: &'a ExternEnv,
+    fun_name: String,
+    env: HashMap<VarId, Ty>,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&self, kind: TypeErrorKind) -> TypeError {
+        TypeError {
+            fun: self.fun_name.clone(),
+            kind,
+        }
+    }
+
+    fn atom_ty(&self, atom: &Atom) -> Result<Ty, TypeError> {
+        Ok(match atom {
+            Atom::Unit => Ty::Unit,
+            Atom::Int(_) => Ty::Int,
+            Atom::Float(_) => Ty::Float,
+            Atom::Bool(_) => Ty::Bool,
+            Atom::Char(_) => Ty::Char,
+            Atom::Str(_) => Ty::Str,
+            Atom::Var(v) => self
+                .env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| self.err(TypeErrorKind::UnboundVar(*v)))?,
+            Atom::Fun(id) => {
+                let fun = self
+                    .program
+                    .fun(*id)
+                    .ok_or_else(|| self.err(TypeErrorKind::UnknownFunction(id.0)))?;
+                Ty::Fun(fun.param_tys())
+            }
+        })
+    }
+
+    fn expect(&self, atom: &Atom, expected: &Ty, context: &str) -> Result<(), TypeError> {
+        let found = self.atom_ty(atom)?;
+        if expected.accepts(&found) {
+            Ok(())
+        } else {
+            Err(self.err(TypeErrorKind::Mismatch {
+                expected: expected.clone(),
+                found,
+                context: context.to_owned(),
+            }))
+        }
+    }
+
+    fn bind(&mut self, dst: VarId, ty: Ty) -> Result<(), TypeError> {
+        if self.env.insert(dst, ty).is_some() {
+            return Err(self.err(TypeErrorKind::Rebound(dst)));
+        }
+        Ok(())
+    }
+
+    fn unbind(&mut self, dst: VarId) {
+        self.env.remove(&dst);
+    }
+
+    /// Types a callee atom: returns its parameter types.
+    fn callee_params(&self, target: &Atom, context: &str) -> Result<Vec<Ty>, TypeError> {
+        match self.atom_ty(target)? {
+            Ty::Fun(params) | Ty::Closure(params) => Ok(params),
+            Ty::Any => Ok(Vec::new()), // dynamically checked at runtime
+            other => Err(self.err(TypeErrorKind::NotCallable(other))).map_err(|mut e| {
+                if let TypeErrorKind::NotCallable(_) = e.kind {
+                    e.fun = format!("{} ({context})", e.fun);
+                }
+                e
+            }),
+        }
+    }
+
+    fn check_call(&self, target: &Atom, args: &[Atom], context: &str) -> Result<(), TypeError> {
+        let params = self.callee_params(target, context)?;
+        // `Any` callees skip static arity checking.
+        if params.is_empty() && matches!(self.atom_ty(target)?, Ty::Any) {
+            for a in args {
+                self.atom_ty(a)?;
+            }
+            return Ok(());
+        }
+        if params.len() != args.len() {
+            return Err(self.err(TypeErrorKind::ArityMismatch {
+                callee: format!("{target} ({context})"),
+                expected: params.len(),
+                found: args.len(),
+            }));
+        }
+        for (param, arg) in params.iter().zip(args) {
+            self.expect(arg, param, context)?;
+        }
+        Ok(())
+    }
+
+    fn check_expr(&mut self, expr: &Expr) -> Result<(), TypeError> {
+        match expr {
+            Expr::LetAtom { dst, ty, atom, body } => {
+                self.expect(atom, ty, "let binding")?;
+                self.bind(*dst, ty.clone())?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::LetUnop { dst, op, arg, body } => {
+                let (arg_ty, ret_ty) = op.signature();
+                self.expect(arg, &arg_ty, op.mnemonic())?;
+                self.bind(*dst, ret_ty)?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::LetBinop {
+                dst,
+                op,
+                lhs,
+                rhs,
+                body,
+            } => {
+                let lt = self.atom_ty(lhs)?;
+                let rt = self.atom_ty(rhs)?;
+                let result = self.binop_result(*op, &lt, &rt)?;
+                self.bind(*dst, result)?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::LetAlloc {
+                dst,
+                elem,
+                len,
+                init,
+                body,
+            } => {
+                self.expect(len, &Ty::Int, "alloc length")?;
+                self.expect(init, elem, "alloc initialiser")?;
+                self.bind(*dst, Ty::ptr(elem.clone()))?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::LetAllocRaw { dst, size, body } => {
+                self.expect(size, &Ty::Int, "raw alloc size")?;
+                self.bind(*dst, Ty::Raw)?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::LetTuple { dst, args, body } => {
+                for a in args {
+                    self.atom_ty(a)?;
+                }
+                self.bind(*dst, Ty::ptr(Ty::Any))?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::LetClosure {
+                dst,
+                fun,
+                captured,
+                arg_tys,
+                body,
+            } => {
+                let def = self
+                    .program
+                    .fun(*fun)
+                    .ok_or_else(|| self.err(TypeErrorKind::UnknownFunction(fun.0)))?;
+                // Convention: the target function takes the closure
+                // environment pointer first, then the declared argument types.
+                if def.params.len() != arg_tys.len() + 1 {
+                    return Err(self.err(TypeErrorKind::ArityMismatch {
+                        callee: format!("closure target `{}`", def.name),
+                        expected: def.params.len(),
+                        found: arg_tys.len() + 1,
+                    }));
+                }
+                for a in captured {
+                    self.atom_ty(a)?;
+                }
+                self.bind(*dst, Ty::Closure(arg_tys.clone()))?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::LetLoad {
+                dst,
+                ty,
+                ptr,
+                index,
+                body,
+            } => {
+                self.check_typed_pointer(ptr, ty, "load")?;
+                self.expect(index, &Ty::Int, "load index")?;
+                self.bind(*dst, ty.clone())?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::Store {
+                ptr,
+                index,
+                value,
+                body,
+            } => {
+                let vt = self.atom_ty(value)?;
+                self.check_typed_pointer(ptr, &vt, "store")?;
+                self.expect(index, &Ty::Int, "store index")?;
+                self.check_expr(body)
+            }
+            Expr::LetLoadRaw {
+                dst,
+                width,
+                ptr,
+                offset,
+                body,
+            } => {
+                self.check_raw_width(*width)?;
+                self.expect(ptr, &Ty::Raw, "raw load pointer")?;
+                self.expect(offset, &Ty::Int, "raw load offset")?;
+                self.bind(*dst, Ty::Int)?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::StoreRaw {
+                width,
+                ptr,
+                offset,
+                value,
+                body,
+            } => {
+                self.check_raw_width(*width)?;
+                self.expect(ptr, &Ty::Raw, "raw store pointer")?;
+                self.expect(offset, &Ty::Int, "raw store offset")?;
+                self.expect(value, &Ty::Int, "raw store value")?;
+                self.check_expr(body)
+            }
+            Expr::LetLen { dst, ptr, body } => {
+                let pt = self.atom_ty(ptr)?;
+                if !pt.is_heap() && !matches!(pt, Ty::Any) {
+                    return Err(self.err(TypeErrorKind::NotAPointer(pt)));
+                }
+                self.bind(*dst, Ty::Int)?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::LetExt {
+                dst,
+                ty,
+                name,
+                args,
+                body,
+            } => {
+                let sig = self
+                    .externs
+                    .lookup(name)
+                    .ok_or_else(|| self.err(TypeErrorKind::UnknownExtern(name.clone())))?
+                    .clone();
+                if sig.params.len() != args.len() {
+                    return Err(self.err(TypeErrorKind::ArityMismatch {
+                        callee: format!("extern `{name}`"),
+                        expected: sig.params.len(),
+                        found: args.len(),
+                    }));
+                }
+                for (param, arg) in sig.params.iter().zip(args) {
+                    self.expect(arg, param, &format!("argument of extern `{name}`"))?;
+                }
+                if !ty.accepts(&sig.ret) {
+                    return Err(self.err(TypeErrorKind::Mismatch {
+                        expected: ty.clone(),
+                        found: sig.ret.clone(),
+                        context: format!("result of extern `{name}`"),
+                    }));
+                }
+                self.bind(*dst, ty.clone())?;
+                self.check_expr(body)?;
+                self.unbind(*dst);
+                Ok(())
+            }
+            Expr::If { cond, then_, else_ } => {
+                self.expect(cond, &Ty::Bool, "if condition")?;
+                self.check_expr(then_)?;
+                self.check_expr(else_)
+            }
+            Expr::TailCall { target, args } => self.check_call(target, args, "tail call"),
+            Expr::Halt { value } => self.expect(value, &Ty::Int, "halt value"),
+            Expr::Migrate {
+                target, fun, args, ..
+            } => {
+                self.expect(target, &Ty::Str, "migrate target")?;
+                self.check_call(fun, args, "migrate continuation")
+            }
+            Expr::Speculate { fun, args } => {
+                // The continuation's first parameter receives the rollback
+                // code `c`; the remaining parameters are supplied here.
+                let params = self.callee_params(fun, "speculate continuation")?;
+                if params.is_empty() {
+                    return Err(self.err(TypeErrorKind::ArityMismatch {
+                        callee: "speculate continuation".to_owned(),
+                        expected: 1 + args.len(),
+                        found: 0,
+                    }));
+                }
+                if !params[0].accepts(&Ty::Int) {
+                    return Err(self.err(TypeErrorKind::Mismatch {
+                        expected: Ty::Int,
+                        found: params[0].clone(),
+                        context: "speculation code parameter (first parameter of the continuation)"
+                            .to_owned(),
+                    }));
+                }
+                if params.len() != args.len() + 1 {
+                    return Err(self.err(TypeErrorKind::ArityMismatch {
+                        callee: "speculate continuation".to_owned(),
+                        expected: params.len(),
+                        found: args.len() + 1,
+                    }));
+                }
+                for (param, arg) in params[1..].iter().zip(args) {
+                    self.expect(arg, param, "speculate argument")?;
+                }
+                Ok(())
+            }
+            Expr::Commit { level, fun, args } => {
+                self.expect(level, &Ty::Int, "commit level")?;
+                self.check_call(fun, args, "commit continuation")
+            }
+            Expr::Rollback { level, code } => {
+                self.expect(level, &Ty::Int, "rollback level")?;
+                self.expect(code, &Ty::Int, "rollback code")
+            }
+        }
+    }
+
+    fn check_raw_width(&self, width: u8) -> Result<(), TypeError> {
+        if matches!(width, 1 | 4 | 8) {
+            Ok(())
+        } else {
+            Err(self.err(TypeErrorKind::BadRawWidth(width)))
+        }
+    }
+
+    /// A typed load/store pointer must be `Ptr<elem>` compatible with the
+    /// access type, `Ptr<Any>` (tuples), or `Any`.
+    fn check_typed_pointer(&self, ptr: &Atom, access: &Ty, context: &str) -> Result<(), TypeError> {
+        let pt = self.atom_ty(ptr)?;
+        match &pt {
+            Ty::Ptr(elem) => {
+                if elem.accepts(access) || access.accepts(elem) {
+                    Ok(())
+                } else {
+                    Err(self.err(TypeErrorKind::Mismatch {
+                        expected: Ty::ptr(access.clone()),
+                        found: pt.clone(),
+                        context: context.to_owned(),
+                    }))
+                }
+            }
+            Ty::Any => Ok(()),
+            _ => Err(self.err(TypeErrorKind::NotAPointer(pt))),
+        }
+    }
+
+    fn binop_result(&self, op: Binop, lhs: &Ty, rhs: &Ty) -> Result<Ty, TypeError> {
+        let bad = || {
+            self.err(TypeErrorKind::BadOperands {
+                op: op.mnemonic(),
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+            })
+        };
+        // `Any` operands defer to runtime checks.
+        if matches!(lhs, Ty::Any) || matches!(rhs, Ty::Any) {
+            return Ok(if op.is_comparison() { Ty::Bool } else { Ty::Any });
+        }
+        if op.is_comparison() {
+            if lhs != rhs {
+                return Err(bad());
+            }
+            let comparable = matches!(lhs, Ty::Int | Ty::Float | Ty::Char | Ty::Bool | Ty::Str);
+            let ordered = matches!(lhs, Ty::Int | Ty::Float | Ty::Char);
+            let needs_order = !matches!(op, Binop::Eq | Binop::Ne);
+            if comparable && (!needs_order || ordered) {
+                Ok(Ty::Bool)
+            } else {
+                Err(bad())
+            }
+        } else if op.is_integer_only() {
+            // `BAnd`/`BOr`/`BXor` double as strict logical operators on
+            // booleans (the MojaveC front end lowers `&&`/`||` to them).
+            let logical = matches!(op, Binop::BAnd | Binop::BOr | Binop::BXor)
+                && matches!(lhs, Ty::Bool)
+                && matches!(rhs, Ty::Bool);
+            if logical {
+                Ok(Ty::Bool)
+            } else if matches!(lhs, Ty::Int) && matches!(rhs, Ty::Int) {
+                Ok(Ty::Int)
+            } else {
+                Err(bad())
+            }
+        } else {
+            match (lhs, rhs) {
+                (Ty::Int, Ty::Int) => Ok(Ty::Int),
+                (Ty::Float, Ty::Float) => Ok(Ty::Float),
+                _ => Err(bad()),
+            }
+        }
+    }
+}
+
+/// Type-check every function of `program` against the given external
+/// signatures.
+pub fn typecheck(program: &Program, externs: &ExternEnv) -> Result<(), TypeError> {
+    for fun in &program.funs {
+        check_fun(program, fun, externs)?;
+    }
+    Ok(())
+}
+
+fn check_fun(program: &Program, fun: &FunDef, externs: &ExternEnv) -> Result<(), TypeError> {
+    let mut checker = Checker {
+        program,
+        externs,
+        fun_name: fun.name.clone(),
+        env: HashMap::new(),
+    };
+    for (v, t) in &fun.params {
+        if checker.env.insert(*v, t.clone()).is_some() {
+            return Err(TypeError {
+                fun: fun.name.clone(),
+                kind: TypeErrorKind::Rebound(*v),
+            });
+        }
+    }
+    checker.check_expr(&fun.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{term, ProgramBuilder};
+    use crate::Unop;
+
+    fn externs() -> ExternEnv {
+        ExternEnv::standard()
+    }
+
+    #[test]
+    fn accepts_simple_program() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let x = b.binop("x", Binop::Add, Atom::Int(1), Atom::Int(2));
+        let body = b.finish(term::halt(x));
+        pb.define(main, body);
+        pb.set_entry(main);
+        assert!(typecheck(&pb.finish(), &externs()).is_ok());
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::halt(VarId(999)));
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::UnboundVar(_)));
+    }
+
+    #[test]
+    fn rejects_int_float_mix() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let x = b.binop("x", Binop::Add, Atom::Int(1), Atom::Float(2.0));
+        let body = b.finish(term::halt(x));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::BadOperands { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_arity_call() {
+        let mut pb = ProgramBuilder::new();
+        let (target, _) = pb.declare("target", &[("a", Ty::Int), ("b", Ty::Int)]);
+        pb.define(target, term::halt(0));
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::call(target, vec![Atom::Int(1)]));
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_extern() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let _ = b.ext("x", Ty::Int, "launch_missiles", vec![]);
+        let body = b.finish(term::halt(0));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::UnknownExtern(_)));
+    }
+
+    #[test]
+    fn rejects_non_bool_condition() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(
+            main,
+            term::branch(Atom::Int(1), term::halt(0), term::halt(1)),
+        );
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::Mismatch { .. }));
+    }
+
+    #[test]
+    fn speculate_requires_int_code_parameter() {
+        let mut pb = ProgramBuilder::new();
+        // Continuation whose first parameter is a float: invalid.
+        let (bad_cont, _) = pb.declare("cont", &[("c", Ty::Float)]);
+        pb.define(bad_cont, term::halt(0));
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::speculate(bad_cont, vec![]));
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::Mismatch { .. }));
+    }
+
+    #[test]
+    fn speculate_checks_remaining_args() {
+        let mut pb = ProgramBuilder::new();
+        let (cont, _) = pb.declare("cont", &[("c", Ty::Int), ("x", Ty::Int)]);
+        pb.define(cont, term::halt(0));
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::speculate(cont, vec![Atom::Int(5)]));
+        pb.set_entry(main);
+        assert!(typecheck(&pb.finish(), &externs()).is_ok());
+
+        // Wrong arity: missing the x argument.
+        let mut pb = ProgramBuilder::new();
+        let (cont, _) = pb.declare("cont", &[("c", Ty::Int), ("x", Ty::Int)]);
+        pb.define(cont, term::halt(0));
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::speculate(cont, vec![]));
+        pb.set_entry(main);
+        assert!(typecheck(&pb.finish(), &externs()).is_err());
+    }
+
+    #[test]
+    fn migrate_target_must_be_string() {
+        let mut pb = ProgramBuilder::new();
+        let (cont, _) = pb.declare("cont", &[]);
+        pb.define(cont, term::halt(0));
+        let (main, _) = pb.declare("main", &[]);
+        let label = pb.label();
+        pb.define(main, term::migrate(label, Atom::Int(3), cont, vec![]));
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::Mismatch { .. }));
+    }
+
+    #[test]
+    fn store_value_must_match_element_type() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let arr = b.alloc("arr", Ty::Float, Atom::Int(4), Atom::Float(0.0));
+        b.store(arr, Atom::Int(0), Atom::Bool(true));
+        let body = b.finish(term::halt(0));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::Mismatch { .. }));
+    }
+
+    #[test]
+    fn raw_width_checked() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let buf = b.alloc_raw("buf", Atom::Int(16));
+        let _ = b.load_raw("x", 3, buf, Atom::Int(0));
+        let body = b.finish(term::halt(0));
+        pb.define(main, body);
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::BadRawWidth(3)));
+    }
+
+    #[test]
+    fn unop_signature_enforced() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let mut b = pb.block();
+        let _ = b.unop("x", Unop::FNeg, Atom::Int(1));
+        let body = b.finish(term::halt(0));
+        pb.define(main, body);
+        pb.set_entry(main);
+        assert!(typecheck(&pb.finish(), &externs()).is_err());
+    }
+
+    #[test]
+    fn single_assignment_enforced() {
+        // Manually construct a rebinding of the same variable.
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        let v = pb.tmp();
+        pb.define(
+            main,
+            Expr::LetAtom {
+                dst: v,
+                ty: Ty::Int,
+                atom: Atom::Int(1),
+                body: Box::new(Expr::LetAtom {
+                    dst: v,
+                    ty: Ty::Int,
+                    atom: Atom::Int(2),
+                    body: Box::new(term::halt(v)),
+                }),
+            },
+        );
+        pb.set_entry(main);
+        let err = typecheck(&pb.finish(), &externs()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::Rebound(_)));
+    }
+
+    #[test]
+    fn halt_requires_int() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::halt(Atom::Float(1.0)));
+        pb.set_entry(main);
+        assert!(typecheck(&pb.finish(), &externs()).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Structural well-formedness checks.
+//!
+//! [`validate`] catches problems that are not type errors but would still
+//! break the runtime or the migration protocol: dangling function ids,
+//! duplicate migration labels (labels must uniquely identify a resume point),
+//! and duplicate parameter variables.
+
+use crate::atom::{Atom, FunId, Label};
+use crate::expr::Expr;
+use crate::program::Program;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Structural validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The program has no functions.
+    EmptyProgram,
+    /// The entry id does not refer to a function.
+    BadEntry(u32),
+    /// The entry function takes parameters (it must not — nothing supplies
+    /// them).
+    EntryHasParams(String),
+    /// A function id referenced in an expression is out of range.
+    DanglingFunId {
+        /// Function containing the reference.
+        fun: String,
+        /// The dangling id.
+        id: u32,
+    },
+    /// A migration label appears more than once in the program.
+    DuplicateLabel(u32),
+    /// A function declares the same parameter variable twice.
+    DuplicateParam {
+        /// Offending function.
+        fun: String,
+    },
+    /// Function ids are not dense/sequential (the function table is an
+    /// array, so `FunId(i)` must be the i-th entry).
+    MisnumberedFunction {
+        /// Index in the table.
+        index: usize,
+        /// Declared id at that index.
+        declared: u32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::EmptyProgram => write!(f, "program contains no functions"),
+            ValidateError::BadEntry(id) => write!(f, "entry function f{id} does not exist"),
+            ValidateError::EntryHasParams(name) => {
+                write!(f, "entry function `{name}` must not take parameters")
+            }
+            ValidateError::DanglingFunId { fun, id } => {
+                write!(f, "function `{fun}` references unknown function f{id}")
+            }
+            ValidateError::DuplicateLabel(l) => {
+                write!(f, "migration label L{l} is used more than once")
+            }
+            ValidateError::DuplicateParam { fun } => {
+                write!(f, "function `{fun}` declares a parameter variable twice")
+            }
+            ValidateError::MisnumberedFunction { index, declared } => write!(
+                f,
+                "function at table index {index} declares id f{declared}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate the structural invariants of a program.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    if program.funs.is_empty() {
+        return Err(ValidateError::EmptyProgram);
+    }
+    for (index, fun) in program.funs.iter().enumerate() {
+        if fun.id.0 as usize != index {
+            return Err(ValidateError::MisnumberedFunction {
+                index,
+                declared: fun.id.0,
+            });
+        }
+        let mut seen = HashSet::new();
+        for (v, _) in &fun.params {
+            if !seen.insert(*v) {
+                return Err(ValidateError::DuplicateParam {
+                    fun: fun.name.clone(),
+                });
+            }
+        }
+    }
+    let entry = program
+        .fun(program.entry)
+        .ok_or(ValidateError::BadEntry(program.entry.0))?;
+    if !entry.params.is_empty() {
+        return Err(ValidateError::EntryHasParams(entry.name.clone()));
+    }
+
+    // Function references must be in range.
+    let nfuns = program.funs.len() as u32;
+    for fun in &program.funs {
+        check_fun_refs(&fun.body, nfuns, &fun.name)?;
+    }
+
+    // Migration labels must be unique program-wide.
+    let mut labels: HashSet<Label> = HashSet::new();
+    for label in program.migrate_labels() {
+        if !labels.insert(label) {
+            return Err(ValidateError::DuplicateLabel(label.0));
+        }
+    }
+    Ok(())
+}
+
+fn check_fun_refs(expr: &Expr, nfuns: u32, fun_name: &str) -> Result<(), ValidateError> {
+    let mut result = Ok(());
+    expr.head_atoms(|a| {
+        if result.is_err() {
+            return;
+        }
+        if let Atom::Fun(FunId(id)) = a {
+            if *id >= nfuns {
+                result = Err(ValidateError::DanglingFunId {
+                    fun: fun_name.to_owned(),
+                    id: *id,
+                });
+            }
+        }
+    });
+    result?;
+    if let Expr::LetClosure { fun: FunId(id), .. } = expr {
+        if *id >= nfuns {
+            return Err(ValidateError::DanglingFunId {
+                fun: fun_name.to_owned(),
+                id: *id,
+            });
+        }
+    }
+    for child in expr.children() {
+        check_fun_refs(child, nfuns, fun_name)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{term, ProgramBuilder};
+    use crate::types::Ty;
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(validate(&Program::new()), Err(ValidateError::EmptyProgram));
+    }
+
+    #[test]
+    fn good_program_accepted() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::halt(0));
+        pb.set_entry(main);
+        assert!(validate(&pb.finish()).is_ok());
+    }
+
+    #[test]
+    fn entry_with_params_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[("x", Ty::Int)]);
+        pb.define(main, term::halt(0));
+        pb.set_entry(main);
+        assert!(matches!(
+            validate(&pb.finish()),
+            Err(ValidateError::EntryHasParams(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_fun_reference_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::call(FunId(42), vec![]));
+        pb.set_entry(main);
+        assert!(matches!(
+            validate(&pb.finish()),
+            Err(ValidateError::DanglingFunId { id: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_migration_labels_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let (cont, _) = pb.declare("cont", &[]);
+        pb.define(cont, term::halt(0));
+        let (main, _) = pb.declare("main", &[]);
+        let label = Label(5);
+        pb.define(
+            main,
+            Expr::Migrate {
+                label,
+                target: Atom::Str("checkpoint://a".into()),
+                fun: Atom::Fun(cont),
+                args: vec![],
+            },
+        );
+        let (other, _) = pb.declare("other", &[]);
+        pb.define(
+            other,
+            Expr::Migrate {
+                label,
+                target: Atom::Str("checkpoint://b".into()),
+                fun: Atom::Fun(cont),
+                args: vec![],
+            },
+        );
+        pb.set_entry(main);
+        assert_eq!(
+            validate(&pb.finish()),
+            Err(ValidateError::DuplicateLabel(5))
+        );
+    }
+
+    #[test]
+    fn bad_entry_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let (main, _) = pb.declare("main", &[]);
+        pb.define(main, term::halt(0));
+        let mut p = pb.finish();
+        p.entry = FunId(9);
+        assert_eq!(validate(&p), Err(ValidateError::BadEntry(9)));
+    }
+}

@@ -1,0 +1,672 @@
+//! Canonical serialisation of FIR programs.
+//!
+//! The migration protocol never ships executable text; it ships the FIR
+//! (paper §4.2.2) so that the destination can type-check it and recompile
+//! it for the local architecture.  This module implements [`WireCodec`] for
+//! every FIR structure.
+
+use crate::atom::{Atom, FunId, Label, VarId};
+use crate::expr::{Binop, Expr, Unop};
+use crate::program::{FunDef, Program};
+use crate::types::Ty;
+use mojave_wire::{WireCodec, WireError, WireReader, WireWriter};
+
+/// Recursion guard: a hostile image could encode a pathologically deep
+/// expression and overflow the decoder's stack; beyond this depth we reject.
+const MAX_EXPR_DEPTH: usize = 100_000;
+
+impl WireCodec for VarId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.write_uvarint(self.0 as u64);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(VarId(r.read_uvarint()? as u32))
+    }
+}
+
+impl WireCodec for FunId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.write_uvarint(self.0 as u64);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(FunId(r.read_uvarint()? as u32))
+    }
+}
+
+impl WireCodec for Label {
+    fn encode(&self, w: &mut WireWriter) {
+        w.write_uvarint(self.0 as u64);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Label(r.read_uvarint()? as u32))
+    }
+}
+
+impl WireCodec for Ty {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Ty::Unit => w.write_u8(0),
+            Ty::Int => w.write_u8(1),
+            Ty::Float => w.write_u8(2),
+            Ty::Bool => w.write_u8(3),
+            Ty::Char => w.write_u8(4),
+            Ty::Str => w.write_u8(5),
+            Ty::Ptr(elem) => {
+                w.write_u8(6);
+                elem.encode(w);
+            }
+            Ty::Raw => w.write_u8(7),
+            Ty::Fun(args) => {
+                w.write_u8(8);
+                args.encode(w);
+            }
+            Ty::Closure(args) => {
+                w.write_u8(9);
+                args.encode(w);
+            }
+            Ty::Any => w.write_u8(10),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.read_u8()? {
+            0 => Ty::Unit,
+            1 => Ty::Int,
+            2 => Ty::Float,
+            3 => Ty::Bool,
+            4 => Ty::Char,
+            5 => Ty::Str,
+            6 => Ty::Ptr(Box::new(Ty::decode(r)?)),
+            7 => Ty::Raw,
+            8 => Ty::Fun(Vec::<Ty>::decode(r)?),
+            9 => Ty::Closure(Vec::<Ty>::decode(r)?),
+            10 => Ty::Any,
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "Ty",
+                    tag: tag as u64,
+                })
+            }
+        })
+    }
+}
+
+impl WireCodec for Atom {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Atom::Unit => w.write_u8(0),
+            Atom::Int(v) => {
+                w.write_u8(1);
+                w.write_ivarint(*v);
+            }
+            Atom::Float(v) => {
+                w.write_u8(2);
+                w.write_f64(*v);
+            }
+            Atom::Bool(v) => {
+                w.write_u8(3);
+                w.write_bool(*v);
+            }
+            Atom::Char(c) => {
+                w.write_u8(4);
+                w.write_u32(*c as u32);
+            }
+            Atom::Str(s) => {
+                w.write_u8(5);
+                w.write_str(s);
+            }
+            Atom::Var(v) => {
+                w.write_u8(6);
+                v.encode(w);
+            }
+            Atom::Fun(f) => {
+                w.write_u8(7);
+                f.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.read_u8()? {
+            0 => Atom::Unit,
+            1 => Atom::Int(r.read_ivarint()?),
+            2 => Atom::Float(r.read_f64()?),
+            3 => Atom::Bool(r.read_bool()?),
+            4 => {
+                let code = r.read_u32()?;
+                Atom::Char(char::from_u32(code).ok_or(WireError::BadTag {
+                    context: "Atom::Char",
+                    tag: code as u64,
+                })?)
+            }
+            5 => Atom::Str(r.read_str()?.to_owned()),
+            6 => Atom::Var(VarId::decode(r)?),
+            7 => Atom::Fun(FunId::decode(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "Atom",
+                    tag: tag as u64,
+                })
+            }
+        })
+    }
+}
+
+impl WireCodec for Unop {
+    fn encode(&self, w: &mut WireWriter) {
+        let idx = Unop::ALL.iter().position(|u| u == self).expect("known unop");
+        w.write_u8(idx as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let idx = r.read_u8()? as usize;
+        Unop::ALL.get(idx).copied().ok_or(WireError::BadTag {
+            context: "Unop",
+            tag: idx as u64,
+        })
+    }
+}
+
+impl WireCodec for Binop {
+    fn encode(&self, w: &mut WireWriter) {
+        let idx = Binop::ALL
+            .iter()
+            .position(|b| b == self)
+            .expect("known binop");
+        w.write_u8(idx as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let idx = r.read_u8()? as usize;
+        Binop::ALL.get(idx).copied().ok_or(WireError::BadTag {
+            context: "Binop",
+            tag: idx as u64,
+        })
+    }
+}
+
+impl WireCodec for Expr {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Expr::LetAtom { dst, ty, atom, body } => {
+                w.write_u8(0);
+                dst.encode(w);
+                ty.encode(w);
+                atom.encode(w);
+                body.encode(w);
+            }
+            Expr::LetUnop { dst, op, arg, body } => {
+                w.write_u8(1);
+                dst.encode(w);
+                op.encode(w);
+                arg.encode(w);
+                body.encode(w);
+            }
+            Expr::LetBinop {
+                dst,
+                op,
+                lhs,
+                rhs,
+                body,
+            } => {
+                w.write_u8(2);
+                dst.encode(w);
+                op.encode(w);
+                lhs.encode(w);
+                rhs.encode(w);
+                body.encode(w);
+            }
+            Expr::LetAlloc {
+                dst,
+                elem,
+                len,
+                init,
+                body,
+            } => {
+                w.write_u8(3);
+                dst.encode(w);
+                elem.encode(w);
+                len.encode(w);
+                init.encode(w);
+                body.encode(w);
+            }
+            Expr::LetAllocRaw { dst, size, body } => {
+                w.write_u8(4);
+                dst.encode(w);
+                size.encode(w);
+                body.encode(w);
+            }
+            Expr::LetTuple { dst, args, body } => {
+                w.write_u8(5);
+                dst.encode(w);
+                args.encode(w);
+                body.encode(w);
+            }
+            Expr::LetClosure {
+                dst,
+                fun,
+                captured,
+                arg_tys,
+                body,
+            } => {
+                w.write_u8(6);
+                dst.encode(w);
+                fun.encode(w);
+                captured.encode(w);
+                arg_tys.encode(w);
+                body.encode(w);
+            }
+            Expr::LetLoad {
+                dst,
+                ty,
+                ptr,
+                index,
+                body,
+            } => {
+                w.write_u8(7);
+                dst.encode(w);
+                ty.encode(w);
+                ptr.encode(w);
+                index.encode(w);
+                body.encode(w);
+            }
+            Expr::Store {
+                ptr,
+                index,
+                value,
+                body,
+            } => {
+                w.write_u8(8);
+                ptr.encode(w);
+                index.encode(w);
+                value.encode(w);
+                body.encode(w);
+            }
+            Expr::LetLoadRaw {
+                dst,
+                width,
+                ptr,
+                offset,
+                body,
+            } => {
+                w.write_u8(9);
+                dst.encode(w);
+                w.write_u8(*width);
+                ptr.encode(w);
+                offset.encode(w);
+                body.encode(w);
+            }
+            Expr::StoreRaw {
+                width,
+                ptr,
+                offset,
+                value,
+                body,
+            } => {
+                w.write_u8(10);
+                w.write_u8(*width);
+                ptr.encode(w);
+                offset.encode(w);
+                value.encode(w);
+                body.encode(w);
+            }
+            Expr::LetLen { dst, ptr, body } => {
+                w.write_u8(11);
+                dst.encode(w);
+                ptr.encode(w);
+                body.encode(w);
+            }
+            Expr::LetExt {
+                dst,
+                ty,
+                name,
+                args,
+                body,
+            } => {
+                w.write_u8(12);
+                dst.encode(w);
+                ty.encode(w);
+                w.write_str(name);
+                args.encode(w);
+                body.encode(w);
+            }
+            Expr::If { cond, then_, else_ } => {
+                w.write_u8(13);
+                cond.encode(w);
+                then_.encode(w);
+                else_.encode(w);
+            }
+            Expr::TailCall { target, args } => {
+                w.write_u8(14);
+                target.encode(w);
+                args.encode(w);
+            }
+            Expr::Halt { value } => {
+                w.write_u8(15);
+                value.encode(w);
+            }
+            Expr::Migrate {
+                label,
+                target,
+                fun,
+                args,
+            } => {
+                w.write_u8(16);
+                label.encode(w);
+                target.encode(w);
+                fun.encode(w);
+                args.encode(w);
+            }
+            Expr::Speculate { fun, args } => {
+                w.write_u8(17);
+                fun.encode(w);
+                args.encode(w);
+            }
+            Expr::Commit { level, fun, args } => {
+                w.write_u8(18);
+                level.encode(w);
+                fun.encode(w);
+                args.encode(w);
+            }
+            Expr::Rollback { level, code } => {
+                w.write_u8(19);
+                level.encode(w);
+                code.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        decode_expr(r, 0)
+    }
+}
+
+fn decode_expr(r: &mut WireReader<'_>, depth: usize) -> Result<Expr, WireError> {
+    if depth > MAX_EXPR_DEPTH {
+        return Err(WireError::Invalid(format!(
+            "expression nesting exceeds {MAX_EXPR_DEPTH}"
+        )));
+    }
+    let body = |r: &mut WireReader<'_>| decode_expr(r, depth + 1).map(Box::new);
+    Ok(match r.read_u8()? {
+        0 => Expr::LetAtom {
+            dst: VarId::decode(r)?,
+            ty: Ty::decode(r)?,
+            atom: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        1 => Expr::LetUnop {
+            dst: VarId::decode(r)?,
+            op: Unop::decode(r)?,
+            arg: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        2 => Expr::LetBinop {
+            dst: VarId::decode(r)?,
+            op: Binop::decode(r)?,
+            lhs: Atom::decode(r)?,
+            rhs: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        3 => Expr::LetAlloc {
+            dst: VarId::decode(r)?,
+            elem: Ty::decode(r)?,
+            len: Atom::decode(r)?,
+            init: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        4 => Expr::LetAllocRaw {
+            dst: VarId::decode(r)?,
+            size: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        5 => Expr::LetTuple {
+            dst: VarId::decode(r)?,
+            args: Vec::<Atom>::decode(r)?,
+            body: body(r)?,
+        },
+        6 => Expr::LetClosure {
+            dst: VarId::decode(r)?,
+            fun: FunId::decode(r)?,
+            captured: Vec::<Atom>::decode(r)?,
+            arg_tys: Vec::<Ty>::decode(r)?,
+            body: body(r)?,
+        },
+        7 => Expr::LetLoad {
+            dst: VarId::decode(r)?,
+            ty: Ty::decode(r)?,
+            ptr: Atom::decode(r)?,
+            index: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        8 => Expr::Store {
+            ptr: Atom::decode(r)?,
+            index: Atom::decode(r)?,
+            value: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        9 => Expr::LetLoadRaw {
+            dst: VarId::decode(r)?,
+            width: r.read_u8()?,
+            ptr: Atom::decode(r)?,
+            offset: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        10 => Expr::StoreRaw {
+            width: r.read_u8()?,
+            ptr: Atom::decode(r)?,
+            offset: Atom::decode(r)?,
+            value: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        11 => Expr::LetLen {
+            dst: VarId::decode(r)?,
+            ptr: Atom::decode(r)?,
+            body: body(r)?,
+        },
+        12 => Expr::LetExt {
+            dst: VarId::decode(r)?,
+            ty: Ty::decode(r)?,
+            name: r.read_str()?.to_owned(),
+            args: Vec::<Atom>::decode(r)?,
+            body: body(r)?,
+        },
+        13 => Expr::If {
+            cond: Atom::decode(r)?,
+            then_: body(r)?,
+            else_: body(r)?,
+        },
+        14 => Expr::TailCall {
+            target: Atom::decode(r)?,
+            args: Vec::<Atom>::decode(r)?,
+        },
+        15 => Expr::Halt {
+            value: Atom::decode(r)?,
+        },
+        16 => Expr::Migrate {
+            label: Label::decode(r)?,
+            target: Atom::decode(r)?,
+            fun: Atom::decode(r)?,
+            args: Vec::<Atom>::decode(r)?,
+        },
+        17 => Expr::Speculate {
+            fun: Atom::decode(r)?,
+            args: Vec::<Atom>::decode(r)?,
+        },
+        18 => Expr::Commit {
+            level: Atom::decode(r)?,
+            fun: Atom::decode(r)?,
+            args: Vec::<Atom>::decode(r)?,
+        },
+        19 => Expr::Rollback {
+            level: Atom::decode(r)?,
+            code: Atom::decode(r)?,
+        },
+        tag => {
+            return Err(WireError::BadTag {
+                context: "Expr",
+                tag: tag as u64,
+            })
+        }
+    })
+}
+
+impl WireCodec for FunDef {
+    fn encode(&self, w: &mut WireWriter) {
+        self.id.encode(w);
+        w.write_str(&self.name);
+        w.write_uvarint(self.params.len() as u64);
+        for (v, t) in &self.params {
+            v.encode(w);
+            t.encode(w);
+        }
+        self.body.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let id = FunId::decode(r)?;
+        let name = r.read_str()?.to_owned();
+        let nparams = r.read_len()?;
+        let mut params = Vec::with_capacity(nparams.min(1 << 12));
+        for _ in 0..nparams {
+            params.push((VarId::decode(r)?, Ty::decode(r)?));
+        }
+        let body = Expr::decode(r)?;
+        Ok(FunDef {
+            id,
+            name,
+            params,
+            body,
+        })
+    }
+}
+
+impl WireCodec for Program {
+    fn encode(&self, w: &mut WireWriter) {
+        self.funs.encode(w);
+        self.entry.encode(w);
+        w.write_uvarint(self.next_var as u64);
+        w.write_uvarint(self.next_label as u64);
+        // Debug names are part of the image so diagnostics survive migration;
+        // they are sorted for canonical output.
+        let mut names: Vec<(&VarId, &String)> = self.var_names.iter().collect();
+        names.sort_by_key(|(v, _)| **v);
+        w.write_uvarint(names.len() as u64);
+        for (v, n) in names {
+            v.encode(w);
+            w.write_str(n);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let funs = Vec::<FunDef>::decode(r)?;
+        let entry = FunId::decode(r)?;
+        let next_var = r.read_uvarint()? as u32;
+        let next_label = r.read_uvarint()? as u32;
+        let nnames = r.read_len()?;
+        let mut var_names = std::collections::HashMap::with_capacity(nnames.min(1 << 16));
+        for _ in 0..nnames {
+            let v = VarId::decode(r)?;
+            let n = r.read_str()?.to_owned();
+            var_names.insert(v, n);
+        }
+        Ok(Program {
+            funs,
+            entry,
+            next_var,
+            next_label,
+            var_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{term, ProgramBuilder};
+    use mojave_wire::{from_bytes, to_bytes};
+
+    fn sample_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let (cont, cp) = pb.declare("after_ck", &[("c", Ty::Int), ("step", Ty::Int)]);
+        pb.define(cont, term::halt(cp[1]));
+        let (main, _) = pb.declare("main", &[]);
+        let label = pb.label();
+        let mut b = pb.block();
+        let arr = b.alloc("arr", Ty::Float, Atom::Int(16), Atom::Float(0.0));
+        b.store(arr, Atom::Int(3), Atom::Float(2.5));
+        let x = b.load("x", Ty::Float, arr, Atom::Int(3));
+        let _ = b.ext("p", Ty::Unit, "print_float", vec![Atom::Var(x)]);
+        let body = b.finish(term::migrate(
+            label,
+            Atom::Str("checkpoint://ck-0".into()),
+            cont,
+            vec![Atom::Int(0), Atom::Int(5)],
+        ));
+        pb.define(main, body);
+        pb.set_entry(main);
+        pb.finish()
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let p = sample_program();
+        let bytes = to_bytes(&p);
+        let back: Program = from_bytes(&bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn all_expr_forms_roundtrip() {
+        use crate::atom::Atom as A;
+        let exprs = vec![
+            Expr::Halt { value: A::Int(0) },
+            Expr::Rollback {
+                level: A::Int(1),
+                code: A::Int(2),
+            },
+            Expr::Speculate {
+                fun: A::Fun(FunId(0)),
+                args: vec![A::Float(1.5), A::Bool(true)],
+            },
+            Expr::Commit {
+                level: A::Var(VarId(3)),
+                fun: A::Fun(FunId(1)),
+                args: vec![A::Char('x')],
+            },
+            Expr::TailCall {
+                target: A::Var(VarId(9)),
+                args: vec![A::Str("s".into()), A::Unit],
+            },
+        ];
+        for e in exprs {
+            let bytes = to_bytes(&e);
+            let back: Expr = from_bytes(&bytes).unwrap();
+            assert_eq!(e, back);
+        }
+    }
+
+    #[test]
+    fn corrupted_tag_rejected() {
+        let p = sample_program();
+        let mut bytes = to_bytes(&p);
+        // Flip a byte somewhere in the middle of the image.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        // Either an error or (rarely) a decode into a different program; it
+        // must never panic.
+        let _ = from_bytes::<Program>(&bytes);
+    }
+
+    #[test]
+    fn ty_roundtrip_nested() {
+        let t = Ty::Fun(vec![
+            Ty::ptr(Ty::ptr(Ty::Float)),
+            Ty::Closure(vec![Ty::Int, Ty::Raw]),
+            Ty::Any,
+        ]);
+        let bytes = to_bytes_ty(&t);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Ty::decode(&mut r).unwrap(), t);
+    }
+
+    fn to_bytes_ty(t: &Ty) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        t.encode(&mut w);
+        w.into_bytes()
+    }
+}

@@ -1,0 +1,337 @@
+//! The coordinator: launches the workers on the cluster, injects failures,
+//! resurrects failed workers from their checkpoints and verifies the result.
+
+use crate::reference::reference_checksums;
+use crate::source::worker_source;
+use crate::GridConfig;
+use mojave_cluster::{Cluster, ClusterConfig, ClusterExternals, ClusterSink};
+use mojave_core::{Process, ProcessConfig, ProcessStats, RunOutcome, RuntimeError};
+use std::fmt;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// When and whom to kill during the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailurePlan {
+    /// The worker (cluster node) to kill.
+    pub victim: usize,
+    /// Kill the victim once this many of its checkpoints exist in the store
+    /// (so there is something to resurrect from).
+    pub after_checkpoints: usize,
+}
+
+/// Outcome of a grid run.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Checksum each worker reported (scaled by 100 in the exit code).
+    pub worker_checksums: Vec<f64>,
+    /// Checksums of the sequential reference solution.
+    pub reference_checksums: Vec<f64>,
+    /// Whether a failure was injected and the computation recovered.
+    pub recovered_from_failure: bool,
+    /// Total rollbacks observed across workers (including the resurrected
+    /// run of the victim).
+    pub rollbacks: u64,
+    /// Total checkpoints written.
+    pub checkpoints: u64,
+    /// Total speculation entries.
+    pub speculations: u64,
+    /// Wall-clock duration of the distributed phase.
+    pub wall_time: Duration,
+    /// Bytes moved over the simulated network.
+    pub network_bytes: u64,
+}
+
+impl GridReport {
+    /// Whether every worker's checksum matches the reference within the
+    /// rounding of the integer exit encoding.
+    pub fn is_correct(&self) -> bool {
+        self.worker_checksums.len() == self.reference_checksums.len()
+            && self
+                .worker_checksums
+                .iter()
+                .zip(&self.reference_checksums)
+                .all(|(got, want)| (got - want).abs() < 0.05)
+    }
+
+    /// Largest absolute checksum error.
+    pub fn max_error(&self) -> f64 {
+        self.worker_checksums
+            .iter()
+            .zip(&self.reference_checksums)
+            .map(|(g, w)| (g - w).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Errors from a grid run.
+#[derive(Debug)]
+pub enum GridError {
+    /// The worker source failed to compile.
+    Compile(mojave_lang::CompileError),
+    /// A worker failed at runtime for a reason other than injected failure.
+    Worker {
+        /// Which worker.
+        worker: usize,
+        /// The error.
+        error: RuntimeError,
+    },
+    /// A worker ended with an unexpected outcome (migrated/suspended).
+    UnexpectedOutcome {
+        /// Which worker.
+        worker: usize,
+        /// The outcome.
+        outcome: RunOutcome,
+    },
+    /// The victim failed but no checkpoint was available to resurrect from.
+    NoCheckpoint {
+        /// The victim worker.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Compile(e) => write!(f, "worker source failed to compile: {e}"),
+            GridError::Worker { worker, error } => write!(f, "worker {worker} failed: {error}"),
+            GridError::UnexpectedOutcome { worker, outcome } => {
+                write!(f, "worker {worker} ended unexpectedly: {outcome:?}")
+            }
+            GridError::NoCheckpoint { worker } => {
+                write!(f, "worker {worker} failed before writing any checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+struct WorkerResult {
+    worker: usize,
+    outcome: Result<RunOutcome, RuntimeError>,
+    stats: ProcessStats,
+}
+
+fn spawn_worker(
+    cluster: &Cluster,
+    program: mojave_fir::Program,
+    worker: usize,
+    tx: mpsc::Sender<WorkerResult>,
+) {
+    let cluster = cluster.clone();
+    thread::spawn(move || {
+        let config = ProcessConfig {
+            machine: mojave_core::Machine::new(cluster.arch(worker)),
+            step_budget: Some(500_000_000),
+            ..ProcessConfig::default()
+        };
+        let result = Process::new(program, config).map(|p| {
+            p.with_externals(Box::new(ClusterExternals::new(cluster.clone(), worker)))
+                .with_sink(Box::new(ClusterSink::new(cluster.clone(), worker)))
+        });
+        let (outcome, stats) = match result {
+            Ok(mut process) => {
+                let outcome = process.run();
+                (outcome, process.stats())
+            }
+            Err(e) => (Err(e), ProcessStats::default()),
+        };
+        let _ = tx.send(WorkerResult {
+            worker,
+            outcome,
+            stats,
+        });
+    });
+}
+
+/// Latest checkpoint name and step for a worker, if any.
+fn latest_checkpoint(cluster: &Cluster, worker: usize) -> Option<(String, u64)> {
+    let prefix = format!("grid-{worker}-");
+    cluster
+        .store()
+        .names()
+        .into_iter()
+        .filter_map(|name| {
+            name.strip_prefix(&prefix)
+                .and_then(|s| s.parse::<u64>().ok())
+                .map(|step| (name.clone(), step))
+        })
+        .max_by_key(|(_, step)| *step)
+}
+
+/// Resurrect a failed worker from its latest checkpoint on a replacement
+/// machine for the same node slot (the paper resurrects the computation
+/// thread on a remote node; the node identity is what the neighbours address
+/// their messages to).
+fn resurrect(
+    cluster: &Cluster,
+    worker: usize,
+    tx: mpsc::Sender<WorkerResult>,
+) -> Result<(), GridError> {
+    let (name, _step) =
+        latest_checkpoint(cluster, worker).ok_or(GridError::NoCheckpoint { worker })?;
+    let image = cluster
+        .store()
+        .load(&name)
+        .map_err(|error| GridError::Worker { worker, error })?;
+    cluster.revive_node(worker);
+    let cluster = cluster.clone();
+    thread::spawn(move || {
+        let config = ProcessConfig {
+            machine: mojave_core::Machine::new(cluster.arch(worker)),
+            step_budget: Some(500_000_000),
+            ..ProcessConfig::default()
+        };
+        let result = Process::from_image(image, config).map(|p| {
+            p.with_externals(Box::new(ClusterExternals::new(cluster.clone(), worker)))
+                .with_sink(Box::new(ClusterSink::new(cluster.clone(), worker)))
+        });
+        let (outcome, stats) = match result {
+            Ok(mut process) => {
+                let outcome = process.run();
+                (outcome, process.stats())
+            }
+            Err(e) => (Err(e), ProcessStats::default()),
+        };
+        let _ = tx.send(WorkerResult {
+            worker,
+            outcome,
+            stats,
+        });
+    });
+    Ok(())
+}
+
+/// Run the grid computation on a simulated cluster, optionally injecting a
+/// node failure, and verify against the sequential reference.
+pub fn run_grid(config: &GridConfig, failure: Option<FailurePlan>) -> Result<GridReport, GridError> {
+    let source = worker_source(config);
+    let program = mojave_lang::compile_source(&source).map_err(GridError::Compile)?;
+
+    let mut cluster_config = ClusterConfig::new(config.workers);
+    cluster_config.recv_timeout = Duration::from_millis(1_500);
+    let cluster = Cluster::new(cluster_config);
+
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    for worker in 0..config.workers {
+        spawn_worker(&cluster, program.clone(), worker, tx.clone());
+    }
+
+    // Failure injection: wait until the victim has written enough
+    // checkpoints, then mark its node failed.
+    if let Some(plan) = failure {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let have = latest_checkpoint(&cluster, plan.victim)
+                .map(|(_, step)| step as usize / config.checkpoint_interval)
+                .unwrap_or(0);
+            if have >= plan.after_checkpoints {
+                break;
+            }
+            if Instant::now() > deadline {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        cluster.fail_node(plan.victim);
+    }
+
+    let mut checksums = vec![f64::NAN; config.workers];
+    let mut rollbacks = 0u64;
+    let mut checkpoints = 0u64;
+    let mut speculations = 0u64;
+    let mut finished = 0usize;
+    let mut recovered = false;
+
+    while finished < config.workers {
+        let result = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("worker threads report within the deadline");
+        rollbacks += result.stats.rollbacks;
+        checkpoints += result.stats.checkpoints;
+        speculations += result.stats.speculations;
+        match result.outcome {
+            Ok(RunOutcome::Exit(code)) => {
+                checksums[result.worker] = code as f64 / 100.0;
+                finished += 1;
+            }
+            Ok(other) => {
+                return Err(GridError::UnexpectedOutcome {
+                    worker: result.worker,
+                    outcome: other,
+                })
+            }
+            Err(error) => {
+                let injected = failure.map(|p| p.victim) == Some(result.worker)
+                    && cluster.is_failed(result.worker);
+                if injected {
+                    // The paper's resurrection daemon: restart the failed
+                    // computation from its last checkpoint.
+                    resurrect(&cluster, result.worker, tx.clone())?;
+                    recovered = true;
+                } else {
+                    return Err(GridError::Worker {
+                        worker: result.worker,
+                        error,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(GridReport {
+        worker_checksums: checksums,
+        reference_checksums: reference_checksums(config),
+        recovered_from_failure: recovered,
+        rollbacks,
+        checkpoints,
+        speculations,
+        wall_time: start.elapsed(),
+        network_bytes: cluster.bytes_transferred(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_matches_reference() {
+        let config = GridConfig {
+            workers: 3,
+            rows_per_worker: 4,
+            cols: 8,
+            timesteps: 12,
+            checkpoint_interval: 4,
+        };
+        let report = run_grid(&config, None).expect("grid run succeeds");
+        assert!(
+            report.is_correct(),
+            "checksums {:?} vs reference {:?}",
+            report.worker_checksums,
+            report.reference_checksums
+        );
+        assert!(!report.recovered_from_failure);
+        // Every worker checkpoints timesteps / interval times.
+        assert_eq!(report.checkpoints, (3 * 12 / 4) as u64);
+        assert!(report.speculations >= report.checkpoints);
+        assert!(report.network_bytes > 0);
+    }
+
+    #[test]
+    fn single_worker_needs_no_messages() {
+        let config = GridConfig {
+            workers: 1,
+            rows_per_worker: 6,
+            cols: 6,
+            timesteps: 8,
+            checkpoint_interval: 3,
+        };
+        let report = run_grid(&config, None).expect("grid run succeeds");
+        assert!(report.is_correct(), "max error {}", report.max_error());
+        assert_eq!(report.rollbacks, 0);
+    }
+}

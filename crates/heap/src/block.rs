@@ -1,0 +1,307 @@
+//! Heap blocks and their headers.
+
+use crate::pointer_table::PtrIdx;
+use crate::word::Word;
+use mojave_wire::{WireCodec, WireError, WireReader, WireWriter};
+
+/// What a block holds and how the runtime is allowed to access it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// A fixed-shape aggregate of [`Word`]s (structs, message payloads).
+    Tuple,
+    /// A homogeneous array of [`Word`]s.
+    Array,
+    /// Raw bytes (C buffers); accessed with `load_raw`/`store_raw`.
+    Raw,
+    /// Immutable UTF-8 string constant.
+    Str,
+    /// A closure: element 0 is `Word::Fun(f)`, the rest are captured values.
+    Closure,
+    /// The migrate environment: the block that packs all live variables
+    /// across a migration point (paper §4.2.2).
+    MigrateEnv,
+}
+
+impl BlockKind {
+    /// Whether the block stores words (as opposed to raw bytes).
+    pub fn is_words(self) -> bool {
+        !matches!(self, BlockKind::Raw | BlockKind::Str)
+    }
+
+    /// All kinds (for the wire codec and property tests).
+    pub const ALL: [BlockKind; 6] = [
+        BlockKind::Tuple,
+        BlockKind::Array,
+        BlockKind::Raw,
+        BlockKind::Str,
+        BlockKind::Closure,
+        BlockKind::MigrateEnv,
+    ];
+}
+
+/// Which GC generation a block currently belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Generation {
+    /// Allocated since the last minor collection.
+    Young,
+    /// Survived at least one minor collection.
+    Old,
+}
+
+/// Block payload: either words or raw bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockData {
+    /// Word-addressed payload.
+    Words(Vec<Word>),
+    /// Byte-addressed payload.
+    Bytes(Vec<u8>),
+}
+
+impl BlockData {
+    /// Number of addressable elements (words or bytes).
+    pub fn len(&self) -> usize {
+        match self {
+            BlockData::Words(w) => w.len(),
+            BlockData::Bytes(b) => b.len(),
+        }
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload size in bytes (words are 8 bytes in the canonical format).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            BlockData::Words(w) => w.len() * 8,
+            BlockData::Bytes(b) => b.len(),
+        }
+    }
+}
+
+/// The header every block carries (paper §4.1: "each block has a header").
+///
+/// The `index` back-reference is what makes compaction cheap: when a block
+/// moves, the collector reads the header to find which pointer-table entry
+/// must be repointed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Pointer-table entry that *normally* refers to this block.  Under
+    /// speculation the entry may temporarily point at a copy-on-write clone
+    /// while this block is preserved by a checkpoint record.
+    pub index: PtrIdx,
+    /// What the block holds.
+    pub kind: BlockKind,
+    /// GC generation.
+    pub generation: Generation,
+    /// Mark bit used by the collector.
+    pub marked: bool,
+}
+
+/// A heap block: header plus payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The block header.
+    pub header: BlockHeader,
+    /// The payload.
+    pub data: BlockData,
+}
+
+impl Block {
+    /// Create a word block.
+    pub fn words(index: PtrIdx, kind: BlockKind, words: Vec<Word>) -> Self {
+        debug_assert!(kind.is_words());
+        Block {
+            header: BlockHeader {
+                index,
+                kind,
+                generation: Generation::Young,
+                marked: false,
+            },
+            data: BlockData::Words(words),
+        }
+    }
+
+    /// Create a raw byte block.
+    pub fn bytes(index: PtrIdx, kind: BlockKind, bytes: Vec<u8>) -> Self {
+        debug_assert!(!kind.is_words());
+        Block {
+            header: BlockHeader {
+                index,
+                kind,
+                generation: Generation::Young,
+                marked: false,
+            },
+            data: BlockData::Bytes(bytes),
+        }
+    }
+
+    /// Number of addressable elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the block has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total footprint in bytes including the per-block header overhead the
+    /// paper reports (>12 bytes per block including its table entry).
+    pub fn byte_size(&self) -> usize {
+        crate::heap::HEADER_OVERHEAD_BYTES + self.data.byte_size()
+    }
+
+    /// The words of the payload, if word-addressed.
+    pub fn as_words(&self) -> Option<&[Word]> {
+        match &self.data {
+            BlockData::Words(w) => Some(w),
+            BlockData::Bytes(_) => None,
+        }
+    }
+
+    /// The bytes of the payload, if byte-addressed.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match &self.data {
+            BlockData::Bytes(b) => Some(b),
+            BlockData::Words(_) => None,
+        }
+    }
+
+    /// Iterate the pointer-table indices referenced from this block (the
+    /// collector's trace function).
+    pub fn referenced_ptrs(&self) -> impl Iterator<Item = PtrIdx> + '_ {
+        let words: &[Word] = match &self.data {
+            BlockData::Words(w) => w,
+            BlockData::Bytes(_) => &[],
+        };
+        words.iter().filter_map(|w| w.as_ptr())
+    }
+}
+
+impl WireCodec for BlockKind {
+    fn encode(&self, w: &mut WireWriter) {
+        let idx = BlockKind::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("known block kind");
+        w.write_u8(idx as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let idx = r.read_u8()? as usize;
+        BlockKind::ALL.get(idx).copied().ok_or(WireError::BadTag {
+            context: "BlockKind",
+            tag: idx as u64,
+        })
+    }
+}
+
+impl WireCodec for Block {
+    fn encode(&self, w: &mut WireWriter) {
+        // Only state that is meaningful across a migration is serialised:
+        // generation and mark bits are reset on the receiving side.
+        w.write_uvarint(self.header.index.0 as u64);
+        self.header.kind.encode(w);
+        match &self.data {
+            BlockData::Words(words) => {
+                w.write_u8(0);
+                words.encode(w);
+            }
+            BlockData::Bytes(bytes) => {
+                w.write_u8(1);
+                w.write_bytes(bytes);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let index = PtrIdx(r.read_uvarint()? as u32);
+        let kind = BlockKind::decode(r)?;
+        let data = match r.read_u8()? {
+            0 => BlockData::Words(Vec::<Word>::decode(r)?),
+            1 => BlockData::Bytes(r.read_bytes()?.to_vec()),
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "BlockData",
+                    tag: tag as u64,
+                })
+            }
+        };
+        if kind.is_words() != matches!(data, BlockData::Words(_)) {
+            return Err(WireError::Invalid(format!(
+                "block kind {kind:?} does not match its payload representation"
+            )));
+        }
+        Ok(Block {
+            header: BlockHeader {
+                index,
+                kind,
+                generation: Generation::Old,
+                marked: false,
+            },
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mojave_wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn byte_size_includes_header_overhead() {
+        let b = Block::words(PtrIdx(0), BlockKind::Array, vec![Word::Int(0); 10]);
+        assert_eq!(b.byte_size(), crate::heap::HEADER_OVERHEAD_BYTES + 80);
+        let r = Block::bytes(PtrIdx(1), BlockKind::Raw, vec![0u8; 10]);
+        assert_eq!(r.byte_size(), crate::heap::HEADER_OVERHEAD_BYTES + 10);
+    }
+
+    #[test]
+    fn referenced_ptrs_only_from_word_blocks() {
+        let b = Block::words(
+            PtrIdx(0),
+            BlockKind::Tuple,
+            vec![Word::Int(1), Word::Ptr(PtrIdx(7)), Word::Ptr(PtrIdx(9))],
+        );
+        let refs: Vec<_> = b.referenced_ptrs().collect();
+        assert_eq!(refs, vec![PtrIdx(7), PtrIdx(9)]);
+
+        let raw = Block::bytes(PtrIdx(1), BlockKind::Raw, vec![7, 7, 7]);
+        assert_eq!(raw.referenced_ptrs().count(), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip_word_block() {
+        let b = Block::words(
+            PtrIdx(3),
+            BlockKind::Closure,
+            vec![Word::Fun(2), Word::Int(10), Word::Ptr(PtrIdx(1))],
+        );
+        let bytes = to_bytes(&b);
+        let back: Block = from_bytes(&bytes).unwrap();
+        assert_eq!(back.header.index, PtrIdx(3));
+        assert_eq!(back.header.kind, BlockKind::Closure);
+        assert_eq!(back.data, b.data);
+    }
+
+    #[test]
+    fn wire_roundtrip_raw_block() {
+        let b = Block::bytes(PtrIdx(8), BlockKind::Str, "hello".as_bytes().to_vec());
+        let bytes = to_bytes(&b);
+        let back: Block = from_bytes(&bytes).unwrap();
+        assert_eq!(back.as_bytes().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn mismatched_kind_payload_rejected() {
+        // Encode a Raw kind with a Words payload by hand.
+        let mut w = mojave_wire::WireWriter::new();
+        w.write_uvarint(0);
+        BlockKind::Raw.encode(&mut w);
+        w.write_u8(0); // words payload tag
+        Vec::<Word>::new().encode(&mut w);
+        let err = from_bytes::<Block>(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, WireError::Invalid(_)));
+    }
+}

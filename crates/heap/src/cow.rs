@@ -1,0 +1,118 @@
+//! Copy-on-write checkpoint records for speculation levels (paper §4.3).
+//!
+//! "Speculation levels use copy-on-write semantics; when a block in the heap
+//! is modified, the block is cloned and the pointer table updated to point to
+//! the new copy of the block, preserving the data in the original block.  On
+//! a commit or rollback operation, exactly one of these blocks will be
+//! discarded."
+//!
+//! A [`SpecLevelRecord`] is the per-level checkpoint record that tracks the
+//! preserved originals ("valid blocks in the heap whose pointer table entry
+//! refers to a different block") and the blocks allocated inside the level
+//! (which must be discarded if the level is rolled back).
+
+use crate::pointer_table::PtrIdx;
+use std::collections::{HashMap, HashSet};
+
+/// Checkpoint record for one open speculation level.
+#[derive(Debug, Clone, Default)]
+pub struct SpecLevelRecord {
+    /// For each pointer index first modified inside this level: the slot of
+    /// the *original* block preserved at the moment of the first write.
+    pub(crate) saved: HashMap<PtrIdx, usize>,
+    /// Pointer indices allocated inside this level, in allocation order.
+    pub(crate) allocated: Vec<PtrIdx>,
+    /// Same as `allocated`, as a set, for the fast "was this allocated in the
+    /// current level?" check on every store.
+    pub(crate) allocated_set: HashSet<PtrIdx>,
+}
+
+impl SpecLevelRecord {
+    /// Number of blocks preserved by this level.
+    pub fn saved_count(&self) -> usize {
+        self.saved.len()
+    }
+
+    /// Number of blocks allocated inside this level.
+    pub fn allocated_count(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Whether the level has recorded any state at all.
+    pub fn is_empty(&self) -> bool {
+        self.saved.is_empty() && self.allocated.is_empty()
+    }
+
+    pub(crate) fn note_allocation(&mut self, ptr: PtrIdx) {
+        if self.allocated_set.insert(ptr) {
+            self.allocated.push(ptr);
+        }
+    }
+
+    pub(crate) fn has_saved(&self, ptr: PtrIdx) -> bool {
+        self.saved.contains_key(&ptr)
+    }
+
+    pub(crate) fn was_allocated_here(&self, ptr: PtrIdx) -> bool {
+        self.allocated_set.contains(&ptr)
+    }
+
+    /// Fold `child` (a younger, committed level) into `self`.
+    ///
+    /// Returns the slots whose preserved originals are no longer needed and
+    /// should be freed by the caller: for every pointer the parent already
+    /// preserves, the parent's copy is older and wins.
+    pub(crate) fn absorb(&mut self, child: SpecLevelRecord) -> Vec<usize> {
+        let mut discard = Vec::new();
+        for (ptr, slot) in child.saved {
+            if self.saved.contains_key(&ptr) {
+                discard.push(slot);
+            } else {
+                self.saved.insert(ptr, slot);
+            }
+        }
+        for ptr in child.allocated {
+            self.note_allocation(ptr);
+        }
+        discard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_allocation_deduplicates() {
+        let mut rec = SpecLevelRecord::default();
+        rec.note_allocation(PtrIdx(3));
+        rec.note_allocation(PtrIdx(3));
+        rec.note_allocation(PtrIdx(4));
+        assert_eq!(rec.allocated_count(), 2);
+        assert!(rec.was_allocated_here(PtrIdx(3)));
+        assert!(!rec.was_allocated_here(PtrIdx(9)));
+    }
+
+    #[test]
+    fn absorb_prefers_parent_copy() {
+        let mut parent = SpecLevelRecord::default();
+        parent.saved.insert(PtrIdx(1), 100);
+        let mut child = SpecLevelRecord::default();
+        child.saved.insert(PtrIdx(1), 200); // newer copy — discarded
+        child.saved.insert(PtrIdx(2), 300); // new to the parent — kept
+        child.note_allocation(PtrIdx(9));
+
+        let discard = parent.absorb(child);
+        assert_eq!(discard, vec![200]);
+        assert_eq!(parent.saved[&PtrIdx(1)], 100);
+        assert_eq!(parent.saved[&PtrIdx(2)], 300);
+        assert!(parent.was_allocated_here(PtrIdx(9)));
+    }
+
+    #[test]
+    fn empty_record_reports_empty() {
+        let rec = SpecLevelRecord::default();
+        assert!(rec.is_empty());
+        assert_eq!(rec.saved_count(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Heap access errors.
+//!
+//! Every checked operation the backend emits (pointer validation, bounds
+//! checks, kind checks) reports one of these instead of corrupting memory —
+//! this is the paper's point that the compiler "can ensure the process will
+//! not attempt to access illegal areas of memory or use values with
+//! inappropriate types".
+
+use crate::block::BlockKind;
+use crate::pointer_table::PtrIdx;
+use std::fmt;
+
+/// Errors raised by checked heap operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// The pointer-table index is out of range or refers to a free entry.
+    InvalidPointer(PtrIdx),
+    /// An element index was outside the block.
+    OutOfBounds {
+        /// The block that was accessed.
+        ptr: PtrIdx,
+        /// The offending element/byte index.
+        index: i64,
+        /// The block's length.
+        len: usize,
+    },
+    /// The access did not match the block's kind (e.g. a word load from a
+    /// raw block).
+    KindMismatch {
+        /// The block that was accessed.
+        ptr: PtrIdx,
+        /// The block's actual kind.
+        kind: BlockKind,
+        /// Description of the attempted access.
+        access: &'static str,
+    },
+    /// A raw access used an unsupported width.
+    BadWidth(u8),
+    /// An allocation was requested with an implausible size.
+    AllocTooLarge {
+        /// Requested number of elements/bytes.
+        requested: i64,
+        /// The configured per-allocation limit.
+        limit: usize,
+    },
+    /// A negative length was requested.
+    NegativeSize(i64),
+    /// A speculation operation referenced a level that is not open.
+    NoSuchSpeculation {
+        /// The requested level.
+        level: usize,
+        /// Number of currently open levels.
+        open: usize,
+    },
+    /// Writing to an immutable (string) block.
+    ImmutableBlock(PtrIdx),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::InvalidPointer(p) => write!(f, "invalid pointer {p}"),
+            HeapError::OutOfBounds { ptr, index, len } => {
+                write!(f, "index {index} out of bounds for block {ptr} of length {len}")
+            }
+            HeapError::KindMismatch { ptr, kind, access } => {
+                write!(f, "{access} access on block {ptr} of kind {kind:?}")
+            }
+            HeapError::BadWidth(w) => write!(f, "unsupported raw access width {w}"),
+            HeapError::AllocTooLarge { requested, limit } => {
+                write!(f, "allocation of {requested} elements exceeds limit {limit}")
+            }
+            HeapError::NegativeSize(n) => write!(f, "negative allocation size {n}"),
+            HeapError::NoSuchSpeculation { level, open } => {
+                write!(f, "speculation level {level} is not open ({open} levels open)")
+            }
+            HeapError::ImmutableBlock(p) => write!(f, "attempt to mutate immutable block {p}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}

@@ -1,0 +1,961 @@
+//! The heap proper: allocation, checked access, copy-on-write speculation
+//! and (in [`crate::gc`]) garbage collection.
+
+use crate::block::{Block, BlockData, BlockKind, Generation};
+use crate::cow::SpecLevelRecord;
+use crate::error::HeapError;
+use crate::pointer_table::{PointerTable, PtrIdx};
+use crate::stats::HeapStats;
+use crate::word::Word;
+use mojave_wire::{WireCodec, WireError, WireReader, WireWriter};
+use std::collections::{HashMap, HashSet};
+
+/// Per-block bookkeeping overhead in bytes: the header (index, kind,
+/// generation, mark) plus the pointer-table entry.  The paper reports "in
+/// excess of 12 bytes per block, including the pointer table" for the IA32
+/// runtime; the canonical format uses 16.
+pub const HEADER_OVERHEAD_BYTES: usize = 16;
+
+/// Tunable heap parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Young-generation size that triggers a minor collection.
+    pub minor_threshold_bytes: usize,
+    /// Live-heap size that triggers a major collection.
+    pub major_threshold_bytes: usize,
+    /// Largest allowed single allocation, in elements or bytes.
+    pub max_alloc: usize,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            minor_threshold_bytes: 256 * 1024,
+            major_threshold_bytes: 8 * 1024 * 1024,
+            max_alloc: 1 << 28,
+        }
+    }
+}
+
+/// The Mojave runtime heap.
+///
+/// See the crate-level documentation for the overall design.  All access is
+/// checked; none of the operations panic on malformed input from the program
+/// under execution (they return [`HeapError`], which the backend turns into
+/// a trap).
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    /// Block store.  A `None` is a free slot awaiting reuse or compaction.
+    pub(crate) blocks: Vec<Option<Block>>,
+    /// Free slots available for reuse.
+    pub(crate) free_slots: Vec<usize>,
+    /// The pointer table.
+    pub(crate) table: PointerTable,
+    /// Slots of old-generation blocks that may contain pointers to young
+    /// blocks (the minor-collection remembered set, maintained by the write
+    /// barrier in [`Heap::store`]).
+    pub(crate) remembered: HashSet<usize>,
+    /// Open speculation levels, oldest first (level 1 is index 0).
+    pub(crate) spec_levels: Vec<SpecLevelRecord>,
+    /// Configuration.
+    pub(crate) config: HeapConfig,
+    /// Statistics.
+    pub(crate) stats: HeapStats,
+    /// Bytes held by live blocks (approximate; maintained incrementally).
+    pub(crate) live_bytes: usize,
+    /// Bytes allocated into the young generation since the last collection.
+    pub(crate) young_bytes: usize,
+}
+
+impl Heap {
+    /// Create a heap with the default configuration.
+    pub fn new() -> Self {
+        Heap::with_config(HeapConfig::default())
+    }
+
+    /// Create a heap with an explicit configuration.
+    pub fn with_config(config: HeapConfig) -> Self {
+        Heap {
+            config,
+            ..Heap::default()
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// The heap configuration.
+    pub fn config(&self) -> HeapConfig {
+        self.config
+    }
+
+    /// Number of live blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.table.live()
+    }
+
+    /// Approximate bytes held by live blocks (payload + per-block overhead).
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Bytes allocated into the young generation since the last collection.
+    pub fn young_bytes(&self) -> usize {
+        self.young_bytes
+    }
+
+    /// Number of currently open speculation levels.
+    pub fn spec_depth(&self) -> usize {
+        self.spec_levels.len()
+    }
+
+    /// The open speculation records (oldest first), for diagnostics.
+    pub fn spec_records(&self) -> &[SpecLevelRecord] {
+        &self.spec_levels
+    }
+
+    /// Read-only access to the pointer table.
+    pub fn pointer_table(&self) -> &PointerTable {
+        &self.table
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    fn check_size(&self, n: i64) -> Result<usize, HeapError> {
+        if n < 0 {
+            return Err(HeapError::NegativeSize(n));
+        }
+        let n = n as usize;
+        if n > self.config.max_alloc {
+            return Err(HeapError::AllocTooLarge {
+                requested: n as i64,
+                limit: self.config.max_alloc,
+            });
+        }
+        Ok(n)
+    }
+
+    fn take_slot(&mut self) -> usize {
+        if let Some(slot) = self.free_slots.pop() {
+            slot
+        } else {
+            self.blocks.push(None);
+            self.blocks.len() - 1
+        }
+    }
+
+    fn install_block(&mut self, kind: BlockKind, data: BlockData) -> PtrIdx {
+        let slot = self.take_slot();
+        let idx = self.table.allocate(slot);
+        let block = Block {
+            header: crate::block::BlockHeader {
+                index: idx,
+                kind,
+                generation: Generation::Young,
+                marked: false,
+            },
+            data,
+        };
+        let size = block.byte_size();
+        self.blocks[slot] = Some(block);
+        self.live_bytes += size;
+        self.young_bytes += size;
+        self.stats.blocks_allocated += 1;
+        self.stats.bytes_allocated += size as u64;
+        if let Some(top) = self.spec_levels.last_mut() {
+            top.note_allocation(idx);
+        }
+        idx
+    }
+
+    /// Allocate an array of `len` words, each initialised to `init`.
+    pub fn alloc_array(&mut self, len: i64, init: Word) -> Result<PtrIdx, HeapError> {
+        let len = self.check_size(len)?;
+        Ok(self.install_block(BlockKind::Array, BlockData::Words(vec![init; len])))
+    }
+
+    /// Allocate a tuple holding the given words.
+    pub fn alloc_tuple(&mut self, words: Vec<Word>) -> Result<PtrIdx, HeapError> {
+        self.check_size(words.len() as i64)?;
+        Ok(self.install_block(BlockKind::Tuple, BlockData::Words(words)))
+    }
+
+    /// Allocate a closure block: element 0 is the function index, the rest
+    /// are the captured environment.
+    pub fn alloc_closure(&mut self, fun: u32, captured: Vec<Word>) -> Result<PtrIdx, HeapError> {
+        let mut words = Vec::with_capacity(captured.len() + 1);
+        words.push(Word::Fun(fun));
+        words.extend(captured);
+        Ok(self.install_block(BlockKind::Closure, BlockData::Words(words)))
+    }
+
+    /// Allocate the migrate environment block (paper §4.2.2).
+    pub fn alloc_migrate_env(&mut self, words: Vec<Word>) -> Result<PtrIdx, HeapError> {
+        Ok(self.install_block(BlockKind::MigrateEnv, BlockData::Words(words)))
+    }
+
+    /// Allocate a zero-filled raw block of `size` bytes.
+    pub fn alloc_raw(&mut self, size: i64) -> Result<PtrIdx, HeapError> {
+        let size = self.check_size(size)?;
+        Ok(self.install_block(BlockKind::Raw, BlockData::Bytes(vec![0; size])))
+    }
+
+    /// Allocate an immutable string block.
+    pub fn alloc_str(&mut self, s: &str) -> Result<PtrIdx, HeapError> {
+        self.check_size(s.len() as i64)?;
+        Ok(self.install_block(BlockKind::Str, BlockData::Bytes(s.as_bytes().to_vec())))
+    }
+
+    // ------------------------------------------------------------------
+    // Checked access
+    // ------------------------------------------------------------------
+
+    fn slot_of(&self, ptr: PtrIdx) -> Result<usize, HeapError> {
+        self.table.lookup(ptr).ok_or(HeapError::InvalidPointer(ptr))
+    }
+
+    /// Borrow a block.
+    pub fn block(&self, ptr: PtrIdx) -> Result<&Block, HeapError> {
+        let slot = self.slot_of(ptr)?;
+        self.blocks[slot]
+            .as_ref()
+            .ok_or(HeapError::InvalidPointer(ptr))
+    }
+
+    fn block_mut_unchecked(&mut self, slot: usize) -> &mut Block {
+        self.blocks[slot]
+            .as_mut()
+            .expect("slot referenced by pointer table holds a block")
+    }
+
+    /// The kind of the block `ptr` refers to.
+    pub fn block_kind(&self, ptr: PtrIdx) -> Result<BlockKind, HeapError> {
+        Ok(self.block(ptr)?.header.kind)
+    }
+
+    /// Number of addressable elements (words or bytes) of the block.
+    pub fn block_len(&self, ptr: PtrIdx) -> Result<usize, HeapError> {
+        Ok(self.block(ptr)?.len())
+    }
+
+    /// Read a word from a word-addressed block.
+    pub fn load(&self, ptr: PtrIdx, index: i64) -> Result<Word, HeapError> {
+        let block = self.block(ptr)?;
+        let words = block.as_words().ok_or(HeapError::KindMismatch {
+            ptr,
+            kind: block.header.kind,
+            access: "word load",
+        })?;
+        let len = words.len();
+        if index < 0 || index as usize >= len {
+            return Err(HeapError::OutOfBounds { ptr, index, len });
+        }
+        Ok(words[index as usize])
+    }
+
+    /// Write a word into a word-addressed block, performing copy-on-write if
+    /// a speculation is open and maintaining the minor-GC write barrier.
+    pub fn store(&mut self, ptr: PtrIdx, index: i64, value: Word) -> Result<(), HeapError> {
+        // Validate before mutating anything.
+        {
+            let block = self.block(ptr)?;
+            if block.header.kind == BlockKind::Str {
+                return Err(HeapError::ImmutableBlock(ptr));
+            }
+            let words = block.as_words().ok_or(HeapError::KindMismatch {
+                ptr,
+                kind: block.header.kind,
+                access: "word store",
+            })?;
+            let len = words.len();
+            if index < 0 || index as usize >= len {
+                return Err(HeapError::OutOfBounds { ptr, index, len });
+            }
+        }
+        self.cow_before_write(ptr)?;
+        let slot = self.slot_of(ptr)?;
+        let is_old = {
+            let block = self.block_mut_unchecked(slot);
+            match &mut block.data {
+                BlockData::Words(words) => words[index as usize] = value,
+                BlockData::Bytes(_) => unreachable!("validated as a word block"),
+            }
+            block.header.generation == Generation::Old
+        };
+        // Write barrier: an old block now (possibly) references a young one.
+        if is_old && value.is_ptr() {
+            self.remembered.insert(slot);
+        }
+        Ok(())
+    }
+
+    fn check_raw_access(
+        &self,
+        ptr: PtrIdx,
+        offset: i64,
+        width: u8,
+        write: bool,
+    ) -> Result<usize, HeapError> {
+        if !matches!(width, 1 | 4 | 8) {
+            return Err(HeapError::BadWidth(width));
+        }
+        let block = self.block(ptr)?;
+        if write && block.header.kind == BlockKind::Str {
+            return Err(HeapError::ImmutableBlock(ptr));
+        }
+        let bytes = block.as_bytes().ok_or(HeapError::KindMismatch {
+            ptr,
+            kind: block.header.kind,
+            access: "raw access",
+        })?;
+        let len = bytes.len();
+        if offset < 0 || offset as usize + width as usize > len {
+            return Err(HeapError::OutOfBounds {
+                ptr,
+                index: offset,
+                len,
+            });
+        }
+        Ok(offset as usize)
+    }
+
+    /// Read `width` bytes (1, 4 or 8) little-endian from a raw block,
+    /// zero-extended.
+    pub fn load_raw(&self, ptr: PtrIdx, offset: i64, width: u8) -> Result<i64, HeapError> {
+        let off = self.check_raw_access(ptr, offset, width, false)?;
+        let bytes = self.block(ptr)?.as_bytes().expect("validated raw block");
+        let mut buf = [0u8; 8];
+        buf[..width as usize].copy_from_slice(&bytes[off..off + width as usize]);
+        Ok(i64::from_le_bytes(buf))
+    }
+
+    /// Write the low `width` bytes of `value` little-endian into a raw block.
+    pub fn store_raw(
+        &mut self,
+        ptr: PtrIdx,
+        offset: i64,
+        width: u8,
+        value: i64,
+    ) -> Result<(), HeapError> {
+        let off = self.check_raw_access(ptr, offset, width, true)?;
+        self.cow_before_write(ptr)?;
+        let slot = self.slot_of(ptr)?;
+        let block = self.block_mut_unchecked(slot);
+        match &mut block.data {
+            BlockData::Bytes(bytes) => {
+                let le = value.to_le_bytes();
+                bytes[off..off + width as usize].copy_from_slice(&le[..width as usize]);
+            }
+            BlockData::Words(_) => unreachable!("validated as a raw block"),
+        }
+        Ok(())
+    }
+
+    /// Copy `len` bytes between raw blocks (used by the object-store
+    /// externals of the Transfer example).
+    pub fn copy_raw(
+        &mut self,
+        src: PtrIdx,
+        dst: PtrIdx,
+        len: usize,
+    ) -> Result<(), HeapError> {
+        let data: Vec<u8> = {
+            let block = self.block(src)?;
+            let bytes = block.as_bytes().ok_or(HeapError::KindMismatch {
+                ptr: src,
+                kind: block.header.kind,
+                access: "raw copy source",
+            })?;
+            if bytes.len() < len {
+                return Err(HeapError::OutOfBounds {
+                    ptr: src,
+                    index: len as i64,
+                    len: bytes.len(),
+                });
+            }
+            bytes[..len].to_vec()
+        };
+        {
+            let block = self.block(dst)?;
+            let bytes = block.as_bytes().ok_or(HeapError::KindMismatch {
+                ptr: dst,
+                kind: block.header.kind,
+                access: "raw copy destination",
+            })?;
+            if bytes.len() < len {
+                return Err(HeapError::OutOfBounds {
+                    ptr: dst,
+                    index: len as i64,
+                    len: bytes.len(),
+                });
+            }
+        }
+        self.cow_before_write(dst)?;
+        let slot = self.slot_of(dst)?;
+        match &mut self.block_mut_unchecked(slot).data {
+            BlockData::Bytes(bytes) => bytes[..len].copy_from_slice(&data),
+            BlockData::Words(_) => unreachable!("validated as a raw block"),
+        }
+        Ok(())
+    }
+
+    /// Read a string block's contents.
+    pub fn str_value(&self, ptr: PtrIdx) -> Result<String, HeapError> {
+        let block = self.block(ptr)?;
+        match (block.header.kind, block.as_bytes()) {
+            (BlockKind::Str, Some(bytes)) => Ok(String::from_utf8_lossy(bytes).into_owned()),
+            _ => Err(HeapError::KindMismatch {
+                ptr,
+                kind: block.header.kind,
+                access: "string read",
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Speculation: copy-on-write, commit and rollback (paper §4.3)
+    // ------------------------------------------------------------------
+
+    /// Clone-before-write when a speculation level is open.
+    ///
+    /// The *original* block stays at its slot and is recorded in the current
+    /// level's checkpoint record; the clone becomes the block the pointer
+    /// table refers to, so subsequent reads and writes see the new copy.
+    fn cow_before_write(&mut self, ptr: PtrIdx) -> Result<(), HeapError> {
+        let needs_cow = match self.spec_levels.last() {
+            None => false,
+            Some(top) => !top.has_saved(ptr) && !top.was_allocated_here(ptr),
+        };
+        if !needs_cow {
+            return Ok(());
+        }
+        let orig_slot = self.slot_of(ptr)?;
+        let clone = self.blocks[orig_slot]
+            .as_ref()
+            .expect("slot referenced by pointer table holds a block")
+            .clone();
+        let size = clone.byte_size();
+        let clone_slot = self.take_slot();
+        self.blocks[clone_slot] = Some(clone);
+        self.table.relocate(ptr, clone_slot);
+        self.live_bytes += size;
+        self.young_bytes += size;
+        self.stats.cow_clones += 1;
+        self.stats.cow_bytes += size as u64;
+        self.spec_levels
+            .last_mut()
+            .expect("speculation level present")
+            .saved
+            .insert(ptr, orig_slot);
+        Ok(())
+    }
+
+    /// Enter a new speculation level; returns its 1-based level number.
+    pub fn spec_enter(&mut self) -> usize {
+        self.spec_levels.push(SpecLevelRecord::default());
+        self.stats.speculations_entered += 1;
+        self.spec_levels.len()
+    }
+
+    fn check_level(&self, level: usize) -> Result<(), HeapError> {
+        if level == 0 || level > self.spec_levels.len() {
+            Err(HeapError::NoSuchSpeculation {
+                level,
+                open: self.spec_levels.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Commit speculation level `level` (1-based), folding its changes into
+    /// the enclosing level, or making them permanent if it is the oldest
+    /// level.  Commits may happen out of order (paper §2).
+    pub fn spec_commit(&mut self, level: usize) -> Result<(), HeapError> {
+        self.check_level(level)?;
+        let record = self.spec_levels.remove(level - 1);
+        if level == 1 {
+            // Changes become permanent: the preserved originals are no longer
+            // needed for any rollback.
+            for (_, slot) in record.saved {
+                self.discard_slot(slot);
+            }
+        } else {
+            let parent = &mut self.spec_levels[level - 2];
+            let discard = parent.absorb(record);
+            for slot in discard {
+                self.discard_slot(slot);
+            }
+        }
+        self.stats.speculations_committed += 1;
+        Ok(())
+    }
+
+    /// Roll back to speculation level `level` (1-based): abort that level and
+    /// every younger level, restoring the heap to its state at the moment
+    /// `level` was entered.
+    pub fn spec_rollback(&mut self, level: usize) -> Result<(), HeapError> {
+        self.check_level(level)?;
+        // Process newest levels first so that the oldest preserved copy of a
+        // block is the one left standing.
+        while self.spec_levels.len() >= level {
+            let record = self.spec_levels.pop().expect("level count checked");
+            for (ptr, orig_slot) in &record.saved {
+                if let Some(cur_slot) = self.table.lookup(*ptr) {
+                    if cur_slot != *orig_slot {
+                        self.discard_slot(cur_slot);
+                    }
+                    self.table.relocate(*ptr, *orig_slot);
+                }
+            }
+            // Blocks allocated inside the aborted level never existed as far
+            // as the restored state is concerned.
+            for ptr in &record.allocated {
+                if let Some(slot) = self.table.free(*ptr) {
+                    self.discard_slot(slot);
+                }
+            }
+        }
+        self.stats.speculations_rolled_back += 1;
+        Ok(())
+    }
+
+    /// Free a slot's block without touching the pointer table (the table
+    /// entry either already points elsewhere or has been freed by the
+    /// caller).
+    fn discard_slot(&mut self, slot: usize) {
+        if let Some(block) = self.blocks[slot].take() {
+            self.live_bytes = self.live_bytes.saturating_sub(block.byte_size());
+            self.free_slots.push(slot);
+            self.remembered.remove(&slot);
+        }
+    }
+
+    /// Free a block and its pointer-table entry (used by the collector).
+    pub(crate) fn free_block(&mut self, ptr: PtrIdx) {
+        if let Some(slot) = self.table.free(ptr) {
+            self.discard_slot(slot);
+            self.stats.blocks_collected += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots (used by tests to prove rollback exactness)
+    // ------------------------------------------------------------------
+
+    /// A value snapshot of every block reachable through the pointer table,
+    /// keyed by pointer index.  Two snapshots compare equal iff the program-
+    /// visible heap state is identical.
+    pub fn snapshot(&self) -> HashMap<u32, BlockData> {
+        self.table
+            .iter_used()
+            .filter_map(|(idx, slot)| {
+                self.blocks[slot]
+                    .as_ref()
+                    .map(|b| (idx.0, b.data.clone()))
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Migration image (paper §4.2.2: pack / unpack of heap + pointer table)
+    // ------------------------------------------------------------------
+
+    /// Serialise the live heap (pointer table and all live blocks) into the
+    /// canonical wire format.  The caller normally garbage-collects first so
+    /// only live data is shipped.
+    pub fn encode_image(&self, w: &mut WireWriter) {
+        w.write_usize(self.table.capacity());
+        let used: Vec<(PtrIdx, usize)> = self.table.iter_used().collect();
+        w.write_usize(used.len());
+        for (idx, slot) in used {
+            w.write_uvarint(idx.0 as u64);
+            let block = self.blocks[slot]
+                .as_ref()
+                .expect("used table entry points at a block");
+            block.encode(w);
+        }
+    }
+
+    /// Rebuild a heap from an image produced by [`Heap::encode_image`].
+    ///
+    /// Pointer indices are preserved exactly (heap words contain indices, so
+    /// identity must survive the round trip); slots are assigned fresh.
+    pub fn decode_image(r: &mut WireReader<'_>, config: HeapConfig) -> Result<Heap, WireError> {
+        let capacity = r.read_usize()?;
+        let used = r.read_usize()?;
+        if used > capacity {
+            return Err(WireError::Invalid(format!(
+                "heap image claims {used} used entries but a table of {capacity}"
+            )));
+        }
+        let mut heap = Heap::with_config(config);
+        // Pre-size the table with free entries so indices can be restored at
+        // their original positions.
+        let mut slot_for_index: HashMap<u32, Block> = HashMap::with_capacity(used);
+        let mut max_index = 0u32;
+        for _ in 0..used {
+            let idx = r.read_uvarint()? as u32;
+            let block = Block::decode(r)?;
+            if block.header.index.0 != idx {
+                return Err(WireError::Invalid(format!(
+                    "block header index {} does not match table index {idx}",
+                    block.header.index.0
+                )));
+            }
+            max_index = max_index.max(idx);
+            if slot_for_index.insert(idx, block).is_some() {
+                return Err(WireError::Invalid(format!(
+                    "duplicate pointer index {idx} in heap image"
+                )));
+            }
+        }
+        if used > 0 && max_index as usize >= capacity {
+            return Err(WireError::Invalid(format!(
+                "pointer index {max_index} exceeds declared table capacity {capacity}"
+            )));
+        }
+        // Rebuild: allocate table entries 0..capacity in order, then free the
+        // ones that are not used so that used indices land exactly where the
+        // image says.
+        let mut to_free = Vec::new();
+        for i in 0..capacity as u32 {
+            if let Some(block) = slot_for_index.remove(&i) {
+                let slot = heap.take_slot();
+                let idx = heap.table.allocate(slot);
+                debug_assert_eq!(idx.0, i);
+                let size = block.byte_size();
+                heap.blocks[slot] = Some(Block {
+                    header: crate::block::BlockHeader {
+                        index: idx,
+                        kind: block.header.kind,
+                        generation: Generation::Old,
+                        marked: false,
+                    },
+                    data: block.data,
+                });
+                heap.live_bytes += size;
+                heap.stats.blocks_allocated += 1;
+                heap.stats.bytes_allocated += size as u64;
+            } else {
+                let slot = heap.take_slot();
+                let idx = heap.table.allocate(slot);
+                debug_assert_eq!(idx.0, i);
+                to_free.push((idx, slot));
+            }
+        }
+        for (idx, slot) in to_free {
+            heap.table.free(idx);
+            heap.blocks[slot] = None;
+            heap.free_slots.push(slot);
+        }
+        Ok(heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_load_store_roundtrip() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(4, Word::Int(0)).unwrap();
+        assert_eq!(heap.block_len(arr).unwrap(), 4);
+        heap.store(arr, 2, Word::Float(1.5)).unwrap();
+        assert_eq!(heap.load(arr, 2).unwrap(), Word::Float(1.5));
+        assert_eq!(heap.load(arr, 0).unwrap(), Word::Int(0));
+    }
+
+    #[test]
+    fn bounds_and_pointer_validation() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(2, Word::Int(0)).unwrap();
+        assert!(matches!(
+            heap.load(arr, 5),
+            Err(HeapError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            heap.load(arr, -1),
+            Err(HeapError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            heap.load(PtrIdx(99), 0),
+            Err(HeapError::InvalidPointer(_))
+        ));
+        assert!(matches!(
+            heap.store(arr, 9, Word::Int(1)),
+            Err(HeapError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_and_oversized_allocations_rejected() {
+        let mut heap = Heap::with_config(HeapConfig {
+            max_alloc: 100,
+            ..HeapConfig::default()
+        });
+        assert!(matches!(
+            heap.alloc_array(-1, Word::Unit),
+            Err(HeapError::NegativeSize(-1))
+        ));
+        assert!(matches!(
+            heap.alloc_raw(101),
+            Err(HeapError::AllocTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_block_little_endian_access() {
+        let mut heap = Heap::new();
+        let buf = heap.alloc_raw(16).unwrap();
+        heap.store_raw(buf, 0, 8, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(heap.load_raw(buf, 0, 1).unwrap(), 0x08);
+        assert_eq!(heap.load_raw(buf, 0, 4).unwrap(), 0x0506_0708);
+        assert_eq!(heap.load_raw(buf, 0, 8).unwrap(), 0x0102_0304_0506_0708);
+        // Width and bounds checks.
+        assert!(matches!(heap.load_raw(buf, 0, 3), Err(HeapError::BadWidth(3))));
+        assert!(matches!(
+            heap.load_raw(buf, 12, 8),
+            Err(HeapError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn strings_are_immutable() {
+        let mut heap = Heap::new();
+        let s = heap.alloc_str("constant").unwrap();
+        assert_eq!(heap.str_value(s).unwrap(), "constant");
+        assert!(matches!(
+            heap.store_raw(s, 0, 1, 0),
+            Err(HeapError::ImmutableBlock(_))
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(2, Word::Int(0)).unwrap();
+        let raw = heap.alloc_raw(8).unwrap();
+        assert!(matches!(
+            heap.load_raw(arr, 0, 4),
+            Err(HeapError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            heap.load(raw, 0),
+            Err(HeapError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_raw_between_blocks() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_raw(8).unwrap();
+        let b = heap.alloc_raw(8).unwrap();
+        heap.store_raw(a, 0, 8, 42).unwrap();
+        heap.copy_raw(a, b, 8).unwrap();
+        assert_eq!(heap.load_raw(b, 0, 8).unwrap(), 42);
+    }
+
+    #[test]
+    fn speculation_rollback_restores_exact_state() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(8, Word::Int(1)).unwrap();
+        let tup = heap.alloc_tuple(vec![Word::Int(10), Word::Ptr(arr)]).unwrap();
+        let before = heap.snapshot();
+
+        let level = heap.spec_enter();
+        assert_eq!(level, 1);
+        heap.store(arr, 0, Word::Int(99)).unwrap();
+        heap.store(tup, 0, Word::Int(77)).unwrap();
+        let extra = heap.alloc_array(4, Word::Int(5)).unwrap();
+        heap.store(tup, 1, Word::Ptr(extra)).unwrap();
+        assert_ne!(heap.snapshot(), before);
+
+        heap.spec_rollback(level).unwrap();
+        assert_eq!(heap.snapshot(), before);
+        assert_eq!(heap.spec_depth(), 0);
+        // The speculative allocation is gone.
+        assert!(heap.load(extra, 0).is_err());
+    }
+
+    #[test]
+    fn speculation_commit_keeps_changes() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(4, Word::Int(0)).unwrap();
+        let level = heap.spec_enter();
+        heap.store(arr, 1, Word::Int(11)).unwrap();
+        heap.spec_commit(level).unwrap();
+        assert_eq!(heap.spec_depth(), 0);
+        assert_eq!(heap.load(arr, 1).unwrap(), Word::Int(11));
+        assert_eq!(heap.stats().cow_clones, 1);
+    }
+
+    #[test]
+    fn nested_rollback_restores_outer_level_state() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(1, Word::Int(0)).unwrap();
+        let l1 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(1)).unwrap();
+        let state_after_l1_write = heap.snapshot();
+        let l2 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(2)).unwrap();
+        // Roll back only the inner level: the value written in level 1 stays.
+        heap.spec_rollback(l2).unwrap();
+        assert_eq!(heap.snapshot(), state_after_l1_write);
+        assert_eq!(heap.load(arr, 0).unwrap(), Word::Int(1));
+        // Roll back the outer level: back to the original value.
+        heap.spec_rollback(l1).unwrap();
+        assert_eq!(heap.load(arr, 0).unwrap(), Word::Int(0));
+    }
+
+    #[test]
+    fn rollback_to_outer_level_aborts_inner_levels_too() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(1, Word::Int(0)).unwrap();
+        let before = heap.snapshot();
+        let l1 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(1)).unwrap();
+        let _l2 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(2)).unwrap();
+        let _l3 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(3)).unwrap();
+        heap.spec_rollback(l1).unwrap();
+        assert_eq!(heap.snapshot(), before);
+        assert_eq!(heap.spec_depth(), 0);
+    }
+
+    #[test]
+    fn out_of_order_commit_then_rollback() {
+        // Commit level 1 while level 2 is still open (the grid loop does the
+        // opposite order, but §4.3.1 allows commits out of order), then roll
+        // back level 1 — which after the renumbering is the old level 2.
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(1, Word::Int(0)).unwrap();
+        let l1 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(1)).unwrap();
+        let _l2 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(2)).unwrap();
+        // Commit the oldest level: its write (value 1) becomes permanent.
+        heap.spec_commit(l1).unwrap();
+        assert_eq!(heap.spec_depth(), 1);
+        assert_eq!(heap.load(arr, 0).unwrap(), Word::Int(2));
+        // Rolling back the remaining level restores the committed state.
+        heap.spec_rollback(1).unwrap();
+        assert_eq!(heap.load(arr, 0).unwrap(), Word::Int(1));
+    }
+
+    #[test]
+    fn commit_inner_then_rollback_outer_restores_original() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(1, Word::Int(0)).unwrap();
+        let before = heap.snapshot();
+        let l1 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(1)).unwrap();
+        let l2 = heap.spec_enter();
+        heap.store(arr, 0, Word::Int(2)).unwrap();
+        heap.spec_commit(l2).unwrap();
+        assert_eq!(heap.load(arr, 0).unwrap(), Word::Int(2));
+        heap.spec_rollback(l1).unwrap();
+        assert_eq!(heap.snapshot(), before);
+    }
+
+    #[test]
+    fn invalid_speculation_levels_rejected() {
+        let mut heap = Heap::new();
+        assert!(matches!(
+            heap.spec_commit(1),
+            Err(HeapError::NoSuchSpeculation { .. })
+        ));
+        heap.spec_enter();
+        assert!(matches!(
+            heap.spec_rollback(2),
+            Err(HeapError::NoSuchSpeculation { .. })
+        ));
+        assert!(matches!(
+            heap.spec_rollback(0),
+            Err(HeapError::NoSuchSpeculation { .. })
+        ));
+    }
+
+    #[test]
+    fn cow_only_clones_once_per_level() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(128, Word::Int(0)).unwrap();
+        heap.spec_enter();
+        for i in 0..128 {
+            heap.store(arr, i, Word::Int(i)).unwrap();
+        }
+        assert_eq!(heap.stats().cow_clones, 1);
+        heap.spec_enter();
+        heap.store(arr, 0, Word::Int(-1)).unwrap();
+        heap.store(arr, 1, Word::Int(-2)).unwrap();
+        assert_eq!(heap.stats().cow_clones, 2);
+    }
+
+    #[test]
+    fn blocks_allocated_in_speculation_need_no_cow() {
+        let mut heap = Heap::new();
+        heap.spec_enter();
+        let arr = heap.alloc_array(16, Word::Int(0)).unwrap();
+        heap.store(arr, 3, Word::Int(3)).unwrap();
+        assert_eq!(heap.stats().cow_clones, 0);
+        heap.spec_rollback(1).unwrap();
+        assert!(heap.load(arr, 0).is_err());
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_pointer_identity() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(3, Word::Int(7)).unwrap();
+        let s = heap.alloc_str("hello").unwrap();
+        let t = heap
+            .alloc_tuple(vec![Word::Ptr(a), Word::Ptr(s), Word::Float(2.5)])
+            .unwrap();
+        // Free a block so the table has a hole, then allocate another.
+        let tmp = heap.alloc_raw(64).unwrap();
+        heap.free_block(tmp);
+        let b = heap.alloc_array(2, Word::Int(1)).unwrap();
+
+        let mut w = WireWriter::new();
+        heap.encode_image(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = Heap::decode_image(&mut r, HeapConfig::default()).unwrap();
+        assert!(r.is_empty());
+
+        assert_eq!(back.load(a, 0).unwrap(), Word::Int(7));
+        assert_eq!(back.str_value(s).unwrap(), "hello");
+        assert_eq!(back.load(t, 0).unwrap(), Word::Ptr(a));
+        assert_eq!(back.load(t, 2).unwrap(), Word::Float(2.5));
+        assert_eq!(back.load(b, 1).unwrap(), Word::Int(1));
+        assert_eq!(back.live_blocks(), heap.live_blocks());
+    }
+
+    #[test]
+    fn image_with_bad_index_rejected() {
+        let mut w = WireWriter::new();
+        w.write_usize(1); // capacity 1
+        w.write_usize(1); // one used entry
+        w.write_uvarint(5); // index 5 out of range
+        Block::words(PtrIdx(5), BlockKind::Array, vec![]).encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(Heap::decode_image(&mut r, HeapConfig::default()).is_err());
+    }
+
+    #[test]
+    fn stats_track_allocation() {
+        let mut heap = Heap::new();
+        heap.alloc_array(10, Word::Int(0)).unwrap();
+        heap.alloc_raw(100).unwrap();
+        let stats = heap.stats();
+        assert_eq!(stats.blocks_allocated, 2);
+        assert!(stats.bytes_allocated >= 180);
+        assert_eq!(heap.live_blocks(), 2);
+    }
+}

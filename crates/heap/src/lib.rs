@@ -1,0 +1,49 @@
+//! # mojave-heap
+//!
+//! The Mojave runtime heap (paper §4.1): a standardized,
+//! architecture-independent representation of the entire mutable program
+//! state, designed so that whole-process migration and speculative execution
+//! fall out of the data layout.
+//!
+//! The key pieces:
+//!
+//! * [`Word`] — the tagged, architecture-independent value representation.
+//!   Pointers are **never** raw addresses: a heap pointer is an index into
+//!   the pointer table, a function value is an index into the function
+//!   table.  Because of this, heap data never needs pointer translation when
+//!   it is relocated by the garbage collector, cloned by the copy-on-write
+//!   machinery, or shipped to another machine.
+//! * [`PointerTable`] — the indirection table of §4.1.1.  Every valid block
+//!   has exactly one entry; reads validate the index and the entry in a
+//!   handful of operations; relocation only rewrites table entries.
+//! * [`Block`] / [`BlockHeader`] — heap blocks with headers carrying the
+//!   back-reference to their table entry, their kind, generation and GC mark.
+//! * [`Heap`] — allocation, checked loads/stores, the generational
+//!   mark-sweep-compacting collector of §4, and the copy-on-write
+//!   speculation records of §4.3 (`spec_enter` / `spec_commit` /
+//!   `spec_rollback`).
+//!
+//! The speculation *policy* (which continuation to re-enter, what the
+//! rollback code is) lives in `mojave-core`; this crate owns the heap
+//! *mechanism* so it can be tested and benchmarked in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod cow;
+mod error;
+mod gc;
+mod heap;
+mod pointer_table;
+mod stats;
+mod word;
+
+pub use block::{Block, BlockData, BlockHeader, BlockKind, Generation};
+pub use cow::SpecLevelRecord;
+pub use error::HeapError;
+pub use gc::GcKind;
+pub use heap::{Heap, HeapConfig, HEADER_OVERHEAD_BYTES};
+pub use pointer_table::{PointerTable, PtrIdx};
+pub use stats::HeapStats;
+pub use word::Word;

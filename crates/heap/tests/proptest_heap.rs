@@ -1,0 +1,201 @@
+//! Property tests for the heap: GC safety, speculation exactness, and image
+//! round-trips under randomly generated workloads.
+
+use mojave_heap::{Heap, HeapConfig, PtrIdx, Word};
+use mojave_wire::{WireReader, WireWriter};
+use proptest::prelude::*;
+
+/// A random mutator action over a fixed set of pre-allocated arrays.
+#[derive(Debug, Clone)]
+enum Action {
+    Store { arr: usize, idx: i64, val: i64 },
+    Alloc { len: i64 },
+    Link { from: usize, to: usize },
+}
+
+fn action_strategy(arrays: usize) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..arrays, 0i64..8, any::<i64>()).prop_map(|(arr, idx, val)| Action::Store { arr, idx, val }),
+        (1i64..32).prop_map(|len| Action::Alloc { len }),
+        (0..arrays, 0..arrays).prop_map(|(from, to)| Action::Link { from, to }),
+    ]
+}
+
+fn build_heap(narrays: usize) -> (Heap, Vec<PtrIdx>) {
+    let mut heap = Heap::new();
+    let arrays: Vec<PtrIdx> = (0..narrays)
+        .map(|i| heap.alloc_array(8, Word::Int(i as i64)).unwrap())
+        .collect();
+    (heap, arrays)
+}
+
+fn apply(heap: &mut Heap, arrays: &[PtrIdx], action: &Action) {
+    match action {
+        Action::Store { arr, idx, val } => {
+            heap.store(arrays[*arr], *idx, Word::Int(*val)).unwrap();
+        }
+        Action::Alloc { len } => {
+            let _ = heap.alloc_array(*len, Word::Int(0)).unwrap();
+        }
+        Action::Link { from, to } => {
+            heap.store(arrays[*from], 7, Word::Ptr(arrays[*to])).unwrap();
+        }
+    }
+}
+
+proptest! {
+    /// Rolling back a speculation restores the program-visible heap state
+    /// byte for byte, no matter what the speculative code did.
+    #[test]
+    fn rollback_restores_exact_snapshot(
+        actions in proptest::collection::vec(action_strategy(4), 1..64)
+    ) {
+        let (mut heap, arrays) = build_heap(4);
+        let before = heap.snapshot();
+        let level = heap.spec_enter();
+        for action in &actions {
+            apply(&mut heap, &arrays, action);
+        }
+        heap.spec_rollback(level).unwrap();
+        prop_assert_eq!(heap.snapshot(), before);
+        prop_assert_eq!(heap.spec_depth(), 0);
+    }
+
+    /// Nested speculations: rolling back the inner level leaves outer-level
+    /// changes intact; rolling back the outer level restores the original.
+    #[test]
+    fn nested_rollback_is_level_precise(
+        outer in proptest::collection::vec(action_strategy(4), 1..32),
+        inner in proptest::collection::vec(action_strategy(4), 1..32),
+    ) {
+        let (mut heap, arrays) = build_heap(4);
+        let original = heap.snapshot();
+        let l1 = heap.spec_enter();
+        for action in &outer {
+            apply(&mut heap, &arrays, action);
+        }
+        let mid = heap.snapshot();
+        let l2 = heap.spec_enter();
+        for action in &inner {
+            apply(&mut heap, &arrays, action);
+        }
+        heap.spec_rollback(l2).unwrap();
+        prop_assert_eq!(heap.snapshot(), mid);
+        heap.spec_rollback(l1).unwrap();
+        prop_assert_eq!(heap.snapshot(), original);
+    }
+
+    /// Committing makes speculative changes permanent: the state after commit
+    /// equals the state immediately before commit.
+    #[test]
+    fn commit_preserves_current_state(
+        actions in proptest::collection::vec(action_strategy(4), 1..64)
+    ) {
+        let (mut heap, arrays) = build_heap(4);
+        let level = heap.spec_enter();
+        for action in &actions {
+            apply(&mut heap, &arrays, action);
+        }
+        let before_commit = heap.snapshot();
+        heap.spec_commit(level).unwrap();
+        prop_assert_eq!(heap.snapshot(), before_commit);
+    }
+
+    /// Garbage collection never changes the value of any reachable block, and
+    /// never leaves a rooted pointer dangling.
+    #[test]
+    fn gc_preserves_reachable_data(
+        actions in proptest::collection::vec(action_strategy(6), 1..64),
+        major in any::<bool>(),
+    ) {
+        let (mut heap, arrays) = build_heap(6);
+        for action in &actions {
+            apply(&mut heap, &arrays, action);
+        }
+        let roots: Vec<Word> = arrays.iter().map(|p| Word::Ptr(*p)).collect();
+        let values_before: Vec<Vec<Word>> = arrays
+            .iter()
+            .map(|p| (0..8).map(|i| heap.load(*p, i).unwrap()).collect())
+            .collect();
+        if major {
+            heap.gc_major(&roots);
+        } else {
+            heap.gc_minor(&roots);
+        }
+        for (p, before) in arrays.iter().zip(&values_before) {
+            let after: Vec<Word> = (0..8).map(|i| heap.load(*p, i).unwrap()).collect();
+            prop_assert_eq!(&after, before);
+        }
+    }
+
+    /// GC during an open speculation does not break a later rollback.
+    #[test]
+    fn gc_then_rollback_still_exact(
+        actions in proptest::collection::vec(action_strategy(4), 1..48)
+    ) {
+        let (mut heap, arrays) = build_heap(4);
+        let before = heap.snapshot();
+        let level = heap.spec_enter();
+        for (i, action) in actions.iter().enumerate() {
+            apply(&mut heap, &arrays, action);
+            if i == actions.len() / 2 {
+                let roots: Vec<Word> = arrays.iter().map(|p| Word::Ptr(*p)).collect();
+                heap.gc_major(&roots);
+            }
+        }
+        heap.spec_rollback(level).unwrap();
+        prop_assert_eq!(heap.snapshot(), before);
+    }
+
+    /// A heap image round-trips: every reachable block decodes to the same
+    /// contents under the same pointer index.
+    #[test]
+    fn image_roundtrip_is_identity(
+        actions in proptest::collection::vec(action_strategy(5), 0..64)
+    ) {
+        let (mut heap, arrays) = build_heap(5);
+        for action in &actions {
+            apply(&mut heap, &arrays, action);
+        }
+        let roots: Vec<Word> = arrays.iter().map(|p| Word::Ptr(*p)).collect();
+        heap.gc_major(&roots);
+        let snapshot = heap.snapshot();
+
+        let mut w = WireWriter::new();
+        heap.encode_image(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = Heap::decode_image(&mut r, HeapConfig::default()).unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(back.snapshot(), snapshot);
+    }
+
+    /// The pointer table never reports more live entries than blocks exist,
+    /// and every used entry resolves to a real block (the paper's §4.1
+    /// invariant), across arbitrary alloc/GC interleavings.
+    #[test]
+    fn pointer_table_invariant_holds(
+        sizes in proptest::collection::vec(1i64..64, 1..64),
+        gc_every in 1usize..8,
+    ) {
+        let mut heap = Heap::new();
+        let mut kept: Vec<PtrIdx> = Vec::new();
+        for (i, len) in sizes.iter().enumerate() {
+            let p = heap.alloc_array(*len, Word::Int(i as i64)).unwrap();
+            if i % 3 == 0 {
+                kept.push(p);
+            }
+            if i % gc_every == 0 {
+                let roots: Vec<Word> = kept.iter().map(|p| Word::Ptr(*p)).collect();
+                heap.gc_major(&roots);
+            }
+        }
+        for (idx, _slot) in heap.pointer_table().iter_used() {
+            prop_assert!(heap.block(idx).is_ok());
+        }
+        prop_assert_eq!(heap.pointer_table().live(), heap.live_blocks());
+        for p in &kept {
+            prop_assert!(heap.block(*p).is_ok());
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The MojaveC abstract syntax tree.
+
+use crate::error::SourcePos;
+
+/// Source-level types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `bool`
+    Bool,
+    /// `char`
+    Char,
+    /// `string`
+    Str,
+    /// `void`
+    Void,
+    /// `buffer` — raw bytes (the representation of C memory the paper's
+    /// pointer-table discussion is about).
+    Buffer,
+    /// An element array, e.g. `int[]` or `float[]`.
+    Array(Box<CType>),
+}
+
+impl CType {
+    /// Render for error messages.
+    pub fn name(&self) -> String {
+        match self {
+            CType::Int => "int".into(),
+            CType::Float => "float".into(),
+            CType::Bool => "bool".into(),
+            CType::Char => "char".into(),
+            CType::Str => "string".into(),
+            CType::Void => "void".into(),
+            CType::Buffer => "buffer".into(),
+            CType::Array(elem) => format!("{}[]", elem.name()),
+        }
+    }
+}
+
+/// Binary operators (source level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Character literal.
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position of the operator.
+        pos: SourcePos,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source position.
+        pos: SourcePos,
+    },
+    /// Function call: user function, runtime external, or primitive.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position of the callee.
+        pos: SourcePos,
+    },
+    /// Array/buffer indexing `a[i]`.
+    Index {
+        /// The array expression (must be a variable or nested index).
+        array: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Source position.
+        pos: SourcePos,
+    },
+}
+
+impl Expr {
+    /// The source position most relevant to this expression.
+    pub fn pos(&self) -> SourcePos {
+        match self {
+            Expr::Binary { pos, .. }
+            | Expr::Unary { pos, .. }
+            | Expr::Call { pos, .. }
+            | Expr::Index { pos, .. } => *pos,
+            _ => SourcePos::default(),
+        }
+    }
+
+    /// Whether any sub-expression is a call to a user-defined function (used
+    /// by the lowering pre-pass that hoists such calls).
+    pub fn contains_call_to(&self, is_user_fun: &dyn Fn(&str) -> bool) -> bool {
+        match self {
+            Expr::Call { name, args, .. } => {
+                is_user_fun(name) || args.iter().any(|a| a.contains_call_to(is_user_fun))
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.contains_call_to(is_user_fun) || rhs.contains_call_to(is_user_fun)
+            }
+            Expr::Unary { operand, .. } => operand.contains_call_to(is_user_fun),
+            Expr::Index { array, index, .. } => {
+                array.contains_call_to(is_user_fun) || index.contains_call_to(is_user_fun)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `type name = init;` (initialiser optional).
+    Decl {
+        /// Declared type.
+        ty: CType,
+        /// Variable name.
+        name: String,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Source position.
+        pos: SourcePos,
+    },
+    /// `name = value;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// Source position.
+        pos: SourcePos,
+    },
+    /// `array[index] = value;`
+    StoreIndex {
+        /// Target array variable name.
+        array: String,
+        /// Element index.
+        index: Expr,
+        /// Value.
+        value: Expr,
+        /// Source position.
+        pos: SourcePos,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+        /// Source position.
+        pos: SourcePos,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: SourcePos,
+    },
+    /// `return expr;` / `return;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source position.
+        pos: SourcePos,
+    },
+    /// A bare expression statement (usually a call).
+    Expr(Expr),
+    /// A nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDecl {
+    /// Return type.
+    pub ret: CType,
+    /// Function name.
+    pub name: String,
+    /// Parameters (type, name).
+    pub params: Vec<(CType, String)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position of the definition.
+    pub pos: SourcePos,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Function definitions, in source order.
+    pub funs: Vec<FunDecl>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctype_names() {
+        assert_eq!(CType::Array(Box::new(CType::Float)).name(), "float[]");
+        assert_eq!(CType::Buffer.name(), "buffer");
+    }
+
+    #[test]
+    fn contains_call_detection() {
+        let is_user = |n: &str| n == "f";
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Int(1)),
+            rhs: Box::new(Expr::Call {
+                name: "f".into(),
+                args: vec![],
+                pos: SourcePos::default(),
+            }),
+            pos: SourcePos::default(),
+        };
+        assert!(e.contains_call_to(&is_user));
+        let g = Expr::Call {
+            name: "print_int".into(),
+            args: vec![Expr::Int(1)],
+            pos: SourcePos::default(),
+        };
+        assert!(!g.contains_call_to(&is_user));
+    }
+}

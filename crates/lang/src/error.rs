@@ -1,0 +1,85 @@
+//! Front-end errors and source positions.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourcePos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl SourcePos {
+    /// Construct a position.
+    pub fn new(line: u32, col: u32) -> Self {
+        SourcePos { line, col }
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// A MojaveC compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where the error was detected (absent for whole-program errors).
+    pub pos: Option<SourcePos>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CompileError {
+    /// An error at a specific source position.
+    pub fn at(pos: SourcePos, message: impl Into<String>) -> Self {
+        CompileError {
+            pos: Some(pos),
+            message: message.into(),
+        }
+    }
+
+    /// An error with no position (e.g. a missing `main`).
+    pub fn general(message: impl Into<String>) -> Self {
+        CompileError {
+            pos: None,
+            message: message.into(),
+        }
+    }
+
+    /// An internal error: the front end produced FIR that failed the
+    /// downstream verifier.  Should never happen for accepted programs.
+    pub fn internal(message: impl Into<String>) -> Self {
+        CompileError {
+            pos: None,
+            message: format!("internal: generated FIR failed verification: {}", message.into()),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "{pos}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_when_present() {
+        let e = CompileError::at(SourcePos::new(3, 9), "unexpected token");
+        assert_eq!(e.to_string(), "line 3, column 9: unexpected token");
+        let g = CompileError::general("no main function");
+        assert_eq!(g.to_string(), "no main function");
+    }
+}

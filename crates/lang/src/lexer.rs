@@ -1,0 +1,342 @@
+//! The MojaveC lexer.
+
+use crate::error::{CompileError, SourcePos};
+use crate::token::{keyword, Tok, Token};
+
+/// Tokenise source text.
+///
+/// Supports `//` line comments and `/* ... */` block comments, decimal
+/// integer and float literals, character literals with the usual escapes,
+/// and double-quoted string literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn here(&self) -> SourcePos {
+        SourcePos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> CompileError {
+        CompileError::at(self.here(), message)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.here();
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                '(' => self.single(Tok::LParen),
+                ')' => self.single(Tok::RParen),
+                '{' => self.single(Tok::LBrace),
+                '}' => self.single(Tok::RBrace),
+                '[' => self.single(Tok::LBracket),
+                ']' => self.single(Tok::RBracket),
+                ',' => self.single(Tok::Comma),
+                ';' => self.single(Tok::Semi),
+                '+' => self.single(Tok::Plus),
+                '-' => self.single(Tok::Minus),
+                '*' => self.single(Tok::Star),
+                '/' => self.single(Tok::Slash),
+                '%' => self.single(Tok::Percent),
+                '^' => self.single(Tok::Caret),
+                '~' => self.single(Tok::Tilde),
+                '=' => self.pair('=', Tok::EqEq, Tok::Assign),
+                '!' => self.pair('=', Tok::NotEq, Tok::Bang),
+                '<' => {
+                    if self.peek2() == Some('=') {
+                        self.bump();
+                        self.bump();
+                        Tok::Le
+                    } else if self.peek2() == Some('<') {
+                        self.bump();
+                        self.bump();
+                        Tok::Shl
+                    } else {
+                        self.bump();
+                        Tok::Lt
+                    }
+                }
+                '>' => {
+                    if self.peek2() == Some('=') {
+                        self.bump();
+                        self.bump();
+                        Tok::Ge
+                    } else if self.peek2() == Some('>') {
+                        self.bump();
+                        self.bump();
+                        Tok::Shr
+                    } else {
+                        self.bump();
+                        Tok::Gt
+                    }
+                }
+                '&' => self.pair('&', Tok::AndAnd, Tok::Amp),
+                '|' => self.pair('|', Tok::OrOr, Tok::Pipe),
+                '"' => self.string()?,
+                '\'' => self.char_lit()?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            };
+            tokens.push(Token { tok, pos });
+        }
+        Ok(tokens)
+    }
+
+    fn single(&mut self, tok: Tok) -> Tok {
+        self.bump();
+        tok
+    }
+
+    fn pair(&mut self, second: char, if_pair: Tok, otherwise: Tok) -> Tok {
+        self.bump();
+        if self.peek() == Some(second) {
+            self.bump();
+            if_pair
+        } else {
+            otherwise
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(CompileError::at(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, CompileError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| self.error(format!("invalid float literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| self.error(format!("integer literal `{text}` out of range")))
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        keyword(&text).unwrap_or(Tok::Ident(text))
+    }
+
+    fn escape(&mut self) -> Result<char, CompileError> {
+        match self.bump() {
+            Some('n') => Ok('\n'),
+            Some('t') => Ok('\t'),
+            Some('r') => Ok('\r'),
+            Some('0') => Ok('\0'),
+            Some('\\') => Ok('\\'),
+            Some('\'') => Ok('\''),
+            Some('"') => Ok('"'),
+            Some(other) => Err(self.error(format!("unknown escape `\\{other}`"))),
+            None => Err(self.error("unterminated escape sequence")),
+        }
+    }
+
+    fn string(&mut self) -> Result<Tok, CompileError> {
+        let start = self.here();
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Tok::Str(out)),
+                Some('\\') => out.push(self.escape()?),
+                Some(c) => out.push(c),
+                None => return Err(CompileError::at(start, "unterminated string literal")),
+            }
+        }
+    }
+
+    fn char_lit(&mut self) -> Result<Tok, CompileError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some('\\') => self.escape()?,
+            Some(c) => c,
+            None => return Err(self.error("unterminated character literal")),
+        };
+        if self.bump() != Some('\'') {
+            return Err(self.error("character literal must contain exactly one character"));
+        }
+        Ok(Tok::Char(c))
+    }
+}
+
+// Silence the unused-field lint on `src`: kept for error snippets in future
+// diagnostics work.
+impl<'a> Lexer<'a> {
+    #[allow(dead_code)]
+    fn source(&self) -> &'a str {
+        self.src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_figure_one_fragment() {
+        let src = r#"
+            // transfer k bytes
+            if (read(obj1, buf1, k) != k) { abort(specid); }
+        "#;
+        let tokens = toks(src);
+        assert!(tokens.contains(&Tok::KwIf));
+        assert!(tokens.contains(&Tok::NotEq));
+        assert!(tokens.contains(&Tok::Ident("abort".into())));
+        assert!(tokens.contains(&Tok::Ident("specid".into())));
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(toks("42 3.5 0"), vec![Tok::Int(42), Tok::Float(3.5), Tok::Int(0)]);
+    }
+
+    #[test]
+    fn strings_and_chars_with_escapes() {
+        assert_eq!(
+            toks(r#""a\nb" '\t' 'x'"#),
+            vec![Tok::Str("a\nb".into()), Tok::Char('\t'), Tok::Char('x')]
+        );
+    }
+
+    #[test]
+    fn operators_including_two_char() {
+        assert_eq!(
+            toks("<= >= == != && || << >> < >"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Lt,
+                Tok::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 /* block \n comment */ 2 // line\n3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3)]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("int x = @;").unwrap_err();
+        assert_eq!(err.pos.unwrap().line, 1);
+        assert!(err.message.contains("unexpected character"));
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = lex("int\nx").unwrap();
+        assert_eq!(tokens[0].pos.line, 1);
+        assert_eq!(tokens[1].pos.line, 2);
+    }
+}

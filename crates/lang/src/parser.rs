@@ -1,0 +1,653 @@
+//! Recursive-descent parser for MojaveC.
+
+use crate::ast::{BinOp, CType, Expr, FunDecl, Stmt, UnOp, Unit};
+use crate::error::{CompileError, SourcePos};
+use crate::token::{Tok, Token};
+
+/// Parse a token stream into a translation unit.
+pub fn parse(tokens: &[Token]) -> Result<Unit, CompileError> {
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut unit = Unit::default();
+    while !parser.at_end() {
+        unit.funs.push(parser.fun_decl()?);
+    }
+    if unit.funs.is_empty() {
+        return Err(CompileError::general("source contains no functions"));
+    }
+    Ok(unit)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn here(&self) -> SourcePos {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.pos)
+            .unwrap_or_default()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> CompileError {
+        CompileError::at(self.here(), message)
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), CompileError> {
+        match self.peek() {
+            Some(t) if *t == tok => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected `{tok}`, found `{t}`"))),
+            None => Err(self.error(format!("expected `{tok}`, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                Ok(name)
+            }
+            Some(t) => Err(self.error(format!("expected an identifier, found `{t}`"))),
+            None => Err(self.error("expected an identifier, found end of input")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Types and functions
+    // ------------------------------------------------------------------
+
+    fn is_type_start(tok: &Tok) -> bool {
+        matches!(
+            tok,
+            Tok::KwInt
+                | Tok::KwFloat
+                | Tok::KwBool
+                | Tok::KwChar
+                | Tok::KwString
+                | Tok::KwVoid
+                | Tok::KwBuffer
+        )
+    }
+
+    fn ctype(&mut self) -> Result<CType, CompileError> {
+        let base = match self.peek() {
+            Some(Tok::KwInt) => CType::Int,
+            Some(Tok::KwFloat) => CType::Float,
+            Some(Tok::KwBool) => CType::Bool,
+            Some(Tok::KwChar) => CType::Char,
+            Some(Tok::KwString) => CType::Str,
+            Some(Tok::KwVoid) => CType::Void,
+            Some(Tok::KwBuffer) => CType::Buffer,
+            Some(t) => return Err(self.error(format!("expected a type, found `{t}`"))),
+            None => return Err(self.error("expected a type, found end of input")),
+        };
+        self.bump();
+        let mut ty = base;
+        while self.peek() == Some(&Tok::LBracket) && self.peek2() == Some(&Tok::RBracket) {
+            self.bump();
+            self.bump();
+            ty = CType::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn fun_decl(&mut self) -> Result<FunDecl, CompileError> {
+        let pos = self.here();
+        let ret = self.ctype()?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let ty = self.ctype()?;
+                let pname = self.ident()?;
+                params.push((ty, pname));
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FunDecl {
+            ret,
+            name,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at_end() {
+                return Err(self.error("unterminated block: expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        match self.peek() {
+            Some(t) if Self::is_type_start(t) => {
+                let ty = self.ctype()?;
+                let name = self.ident()?;
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Decl {
+                    ty,
+                    name,
+                    init,
+                    pos,
+                })
+            }
+            Some(Tok::KwIf) => self.if_stmt(),
+            Some(Tok::KwWhile) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            Some(Tok::KwFor) => self.for_stmt(),
+            Some(Tok::KwReturn) => {
+                self.bump();
+                let value = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return { value, pos })
+            }
+            Some(Tok::LBrace) => Ok(Stmt::Block(self.block()?)),
+            Some(Tok::Ident(_)) => self.assign_or_expr_stmt(),
+            Some(t) => Err(self.error(format!("unexpected `{t}` at the start of a statement"))),
+            None => Err(self.error("unexpected end of input in a statement")),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        self.expect(Tok::KwIf)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then_branch = self.block()?;
+        let else_branch = if self.eat(&Tok::KwElse) {
+            if self.peek() == Some(&Tok::KwIf) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            pos,
+        })
+    }
+
+    /// `for (init; cond; step) body` desugars to
+    /// `{ init; while (cond) { body; step; } }`.
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        self.expect(Tok::KwFor)?;
+        self.expect(Tok::LParen)?;
+        let init = if self.peek() == Some(&Tok::Semi) {
+            self.bump();
+            None
+        } else {
+            Some(self.simple_stmt()?)
+        };
+        let cond = if self.peek() == Some(&Tok::Semi) {
+            Expr::Bool(true)
+        } else {
+            self.expr()?
+        };
+        self.expect(Tok::Semi)?;
+        let step = if self.peek() == Some(&Tok::RParen) {
+            None
+        } else {
+            Some(self.simple_stmt_no_semi()?)
+        };
+        self.expect(Tok::RParen)?;
+        let mut body = self.block()?;
+        if let Some(step) = step {
+            body.push(step);
+        }
+        let mut outer = Vec::new();
+        if let Some(init) = init {
+            outer.push(init);
+        }
+        outer.push(Stmt::While { cond, body, pos });
+        Ok(Stmt::Block(outer))
+    }
+
+    /// A declaration or assignment followed by `;` (for `for` initialisers).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let stmt = self.simple_stmt_no_semi()?;
+        self.expect(Tok::Semi)?;
+        Ok(stmt)
+    }
+
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        match self.peek() {
+            Some(t) if Self::is_type_start(t) => {
+                let ty = self.ctype()?;
+                let name = self.ident()?;
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::Decl {
+                    ty,
+                    name,
+                    init,
+                    pos,
+                })
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.ident()?;
+                if self.eat(&Tok::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    self.expect(Tok::Assign)?;
+                    let value = self.expr()?;
+                    Ok(Stmt::StoreIndex {
+                        array: name,
+                        index,
+                        value,
+                        pos,
+                    })
+                } else if self.eat(&Tok::Assign) {
+                    let value = self.expr()?;
+                    Ok(Stmt::Assign { name, value, pos })
+                } else if self.peek() == Some(&Tok::LParen) {
+                    let call = self.call_after_name(name, pos)?;
+                    Ok(Stmt::Expr(call))
+                } else {
+                    Err(self.error("expected `=`, `[` or `(` after identifier"))
+                }
+            }
+            Some(t) => Err(self.error(format!("unexpected `{t}`"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn assign_or_expr_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let stmt = self.simple_stmt_no_semi()?;
+        self.expect(Tok::Semi)?;
+        Ok(stmt)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn binary_level<F>(
+        &mut self,
+        next: F,
+        table: &[(Tok, BinOp)],
+    ) -> Result<Expr, CompileError>
+    where
+        F: Fn(&mut Self) -> Result<Expr, CompileError>,
+    {
+        let mut lhs = next(self)?;
+        loop {
+            let pos = self.here();
+            let Some(current) = self.peek() else { break };
+            let Some((_, op)) = table.iter().find(|(t, _)| t == current) else {
+                break;
+            };
+            let op = *op;
+            self.bump();
+            let rhs = next(self)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(Self::and_expr, &[(Tok::OrOr, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(Self::bitor_expr, &[(Tok::AndAnd, BinOp::And)])
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(Self::bitxor_expr, &[(Tok::Pipe, BinOp::BitOr)])
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(Self::bitand_expr, &[(Tok::Caret, BinOp::BitXor)])
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(Self::equality_expr, &[(Tok::Amp, BinOp::BitAnd)])
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            Self::relational_expr,
+            &[(Tok::EqEq, BinOp::Eq), (Tok::NotEq, BinOp::Ne)],
+        )
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            Self::shift_expr,
+            &[
+                (Tok::Lt, BinOp::Lt),
+                (Tok::Le, BinOp::Le),
+                (Tok::Gt, BinOp::Gt),
+                (Tok::Ge, BinOp::Ge),
+            ],
+        )
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            Self::additive_expr,
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+        )
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            Self::multiplicative_expr,
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            Self::unary_expr,
+            &[
+                (Tok::Star, BinOp::Mul),
+                (Tok::Slash, BinOp::Div),
+                (Tok::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        let op = match self.peek() {
+            Some(Tok::Minus) => Some(UnOp::Neg),
+            Some(Tok::Bang) => Some(UnOp::Not),
+            Some(Tok::Tilde) => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op,
+                operand: Box::new(operand),
+                pos,
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            let pos = self.here();
+            if self.eat(&Tok::LBracket) {
+                let index = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                expr = Expr::Index {
+                    array: Box::new(expr),
+                    index: Box::new(index),
+                    pos,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn call_after_name(&mut self, name: String, pos: SourcePos) -> Result<Expr, CompileError> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        Ok(Expr::Call { name, args, pos })
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Some(Tok::Float(v)) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            Some(Tok::Str(s)) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Some(Tok::Char(c)) => {
+                self.bump();
+                Ok(Expr::Char(c))
+            }
+            Some(Tok::KwTrue) => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Some(Tok::KwFalse) => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                if self.peek() == Some(&Tok::LParen) {
+                    self.call_after_name(name, pos)
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(t) => Err(self.error(format!("unexpected `{t}` in an expression"))),
+            None => Err(self.error("unexpected end of input in an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_minimal_main() {
+        let unit = parse_src("int main() { return 0; }");
+        assert_eq!(unit.funs.len(), 1);
+        assert_eq!(unit.funs[0].name, "main");
+        assert_eq!(unit.funs[0].ret, CType::Int);
+        assert!(unit.funs[0].params.is_empty());
+    }
+
+    #[test]
+    fn parses_params_arrays_and_buffers() {
+        let unit = parse_src("int f(int[] a, buffer b, float x) { return 0; }");
+        let f = &unit.funs[0];
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].0, CType::Array(Box::new(CType::Int)));
+        assert_eq!(f.params[1].0, CType::Buffer);
+    }
+
+    #[test]
+    fn parses_figure_one_transfer_shape() {
+        let src = r#"
+            int transfer(int obj1, int obj2, int k) {
+                buffer buf1 = alloc_buffer(k);
+                buffer buf2 = alloc_buffer(k);
+                int specid = speculate();
+                if (specid > 0) {
+                    if (obj_read(obj1, buf1, k) != k) { abort(specid); }
+                    if (obj_read(obj2, buf2, k) != k) { abort(specid); }
+                    if (obj_write(obj1, buf2, k) != k) { abort(specid); }
+                    if (obj_write(obj2, buf1, k) != k) { abort(specid); }
+                    commit(specid);
+                    return 1;
+                }
+                return 0;
+            }
+        "#;
+        let unit = parse_src(src);
+        assert_eq!(unit.funs[0].name, "transfer");
+        // Declaration + declaration + declaration + if + return.
+        assert_eq!(unit.funs[0].body.len(), 5);
+    }
+
+    #[test]
+    fn parses_loops_and_desugars_for() {
+        let src = r#"
+            int main() {
+                int acc = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    acc = acc + i;
+                }
+                while (acc > 100) { acc = acc - 1; }
+                return acc;
+            }
+        "#;
+        let unit = parse_src(src);
+        let body = &unit.funs[0].body;
+        // decl, desugared-for block, while, return
+        assert_eq!(body.len(), 4);
+        match &body[1] {
+            Stmt::Block(stmts) => {
+                assert!(matches!(stmts[0], Stmt::Decl { .. }));
+                assert!(matches!(stmts[1], Stmt::While { .. }));
+            }
+            other => panic!("for should desugar to a block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let unit = parse_src("int main() { return 1 + 2 * 3 < 4 && true; }");
+        let ret = &unit.funs[0].body[0];
+        let Stmt::Return { value: Some(e), .. } = ret else {
+            panic!("expected return");
+        };
+        // Top level must be &&.
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+            int main() {
+                int x = 0;
+                if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; }
+                return x;
+            }
+        "#;
+        let unit = parse_src(src);
+        let Stmt::If { else_branch, .. } = &unit.funs[0].body[1] else {
+            panic!("expected if");
+        };
+        assert!(matches!(else_branch[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn error_messages_are_positioned() {
+        let err = parse(&lex("int main() { return 1 + ; }").unwrap()).unwrap_err();
+        assert!(err.pos.is_some());
+        assert!(err.message.contains("unexpected"));
+        let err = parse(&lex("int main() { int x = 1 }").unwrap()).unwrap_err();
+        assert!(err.message.contains("expected `;`"));
+    }
+
+    #[test]
+    fn empty_source_rejected() {
+        assert!(parse(&lex("   // nothing\n").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! MojaveC tokens.
+
+use crate::error::SourcePos;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (contents, unescaped).
+    Str(String),
+    /// Character literal.
+    Char(char),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords
+    /// `int`
+    KwInt,
+    /// `float`
+    KwFloat,
+    /// `bool`
+    KwBool,
+    /// `char`
+    KwChar,
+    /// `string`
+    KwString,
+    /// `void`
+    KwVoid,
+    /// `buffer`
+    KwBuffer,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+
+    // Punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Char(c) => write!(f, "{c:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::KwInt => write!(f, "int"),
+            Tok::KwFloat => write!(f, "float"),
+            Tok::KwBool => write!(f, "bool"),
+            Tok::KwChar => write!(f, "char"),
+            Tok::KwString => write!(f, "string"),
+            Tok::KwVoid => write!(f, "void"),
+            Tok::KwBuffer => write!(f, "buffer"),
+            Tok::KwIf => write!(f, "if"),
+            Tok::KwElse => write!(f, "else"),
+            Tok::KwWhile => write!(f, "while"),
+            Tok::KwFor => write!(f, "for"),
+            Tok::KwReturn => write!(f, "return"),
+            Tok::KwTrue => write!(f, "true"),
+            Tok::KwFalse => write!(f, "false"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Amp => write!(f, "&"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Tilde => write!(f, "~"),
+            Tok::Shl => write!(f, "<<"),
+            Tok::Shr => write!(f, ">>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it starts in the source.
+    pub pos: SourcePos,
+}
+
+/// Map an identifier to a keyword token, if it is one.
+pub fn keyword(ident: &str) -> Option<Tok> {
+    Some(match ident {
+        "int" => Tok::KwInt,
+        "float" => Tok::KwFloat,
+        "bool" => Tok::KwBool,
+        "char" => Tok::KwChar,
+        "string" => Tok::KwString,
+        "void" => Tok::KwVoid,
+        "buffer" => Tok::KwBuffer,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "for" => Tok::KwFor,
+        "return" => Tok::KwReturn,
+        "true" => Tok::KwTrue,
+        "false" => Tok::KwFalse,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(keyword("while"), Some(Tok::KwWhile));
+        assert_eq!(keyword("buffer"), Some(Tok::KwBuffer));
+        assert_eq!(keyword("speculate"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Tok::Shl.to_string(), "<<");
+        assert_eq!(Tok::Ident("x".into()).to_string(), "x");
+        assert_eq!(Tok::Str("a\"b".into()).to_string(), "\"a\\\"b\"");
+    }
+}

@@ -1,0 +1,413 @@
+//! End-to-end tests: compile MojaveC source with the front end and run it on
+//! the Mojave runtime, covering the paper's Figure-1 Transfer example and the
+//! speculation/migration primitives at the source level.
+
+use mojave_core::{BackendKind, CheckpointStore, InMemorySink, Process, ProcessConfig, RunOutcome};
+use mojave_lang::compile_source;
+
+fn run(source: &str) -> (RunOutcome, Process) {
+    run_with(source, BackendKind::Bytecode)
+}
+
+fn run_with(source: &str, backend: BackendKind) -> (RunOutcome, Process) {
+    let program = compile_source(source).expect("source compiles");
+    let config = ProcessConfig {
+        backend,
+        step_budget: Some(50_000_000),
+        ..ProcessConfig::default()
+    };
+    let mut process = Process::new(program, config).expect("program verifies");
+    let outcome = process.run().expect("program runs");
+    (outcome, process)
+}
+
+fn exit_code(source: &str) -> i64 {
+    let (outcome, _) = run(source);
+    match outcome {
+        RunOutcome::Exit(v) => v,
+        other => panic!("expected exit, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_locals() {
+    assert_eq!(
+        exit_code("int main() { int x = 6; int y = 7; return x * y; }"),
+        42
+    );
+    assert_eq!(
+        exit_code("int main() { int x = 10; x = x - 3; x = x * x; return x % 10; }"),
+        9
+    );
+}
+
+#[test]
+fn control_flow_if_while_for() {
+    assert_eq!(
+        exit_code(
+            r#"
+            int main() {
+                int acc = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { acc = acc + i; } else { acc = acc + 1; }
+                }
+                return acc;
+            }
+            "#
+        ),
+        // even i: 0+2+4+6+8 = 20, odd i: 5 times +1 = 5
+        25
+    );
+    assert_eq!(
+        exit_code(
+            r#"
+            int main() {
+                int n = 1;
+                while (n < 100) { n = n * 2; }
+                return n;
+            }
+            "#
+        ),
+        128
+    );
+}
+
+#[test]
+fn both_backends_agree_on_a_nontrivial_program() {
+    let source = r#"
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(15); }
+    "#;
+    let (a, _) = run_with(source, BackendKind::Bytecode);
+    let (b, _) = run_with(source, BackendKind::Interp);
+    assert_eq!(a, RunOutcome::Exit(610));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn user_functions_arrays_and_externs() {
+    let source = r#"
+        int sum(int[] values, int n) {
+            int total = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                total = total + values[i];
+            }
+            return total;
+        }
+        int main() {
+            int[] values = alloc_int(8);
+            for (int i = 0; i < 8; i = i + 1) {
+                values[i] = i * i;
+            }
+            print_int(length(values));
+            return sum(values, 8);
+        }
+    "#;
+    let (outcome, process) = run(source);
+    assert_eq!(outcome, RunOutcome::Exit(140));
+    assert_eq!(process.output(), &["8".to_owned()]);
+}
+
+#[test]
+fn floats_strings_and_buffers() {
+    let source = r#"
+        int main() {
+            float[] field = alloc_float(4);
+            field[0] = 1.5;
+            field[1] = 2.5;
+            float total = field[0] + field[1];
+            print_float(total);
+            print_str(str_concat("mo", "jave"));
+            buffer b = alloc_buffer(4);
+            poke(b, 0, 65);
+            return peek(b, 0);
+        }
+    "#;
+    let (outcome, process) = run(source);
+    assert_eq!(outcome, RunOutcome::Exit(65));
+    assert_eq!(process.output(), &["4".to_owned(), "mojave".to_owned()]);
+}
+
+/// The paper's Figure 1: the speculative Transfer.  With no injected
+/// failures the transfer commits and swaps the two objects.
+#[test]
+fn figure1_transfer_commits_without_failures() {
+    let source = r#"
+        int transfer(int obj1, int obj2, int k) {
+            buffer buf1 = alloc_buffer(k);
+            buffer buf2 = alloc_buffer(k);
+            int specid = speculate();
+            if (specid > 0) {
+                if (obj_read(obj1, buf1, k) != k) { abort(specid); }
+                if (obj_read(obj2, buf2, k) != k) { abort(specid); }
+                if (obj_write(obj1, buf2, k) != k) { abort(specid); }
+                if (obj_write(obj2, buf1, k) != k) { abort(specid); }
+                commit(specid);
+                return 1;
+            }
+            return 0;
+        }
+        int main() {
+            int a = obj_create(8);
+            int b = obj_create(8);
+            buffer init = alloc_buffer(8);
+            poke(init, 0, 11);
+            obj_write(a, init, 8);
+            poke(init, 0, 22);
+            obj_write(b, init, 8);
+
+            int ok = transfer(a, b, 8);
+
+            buffer check = alloc_buffer(8);
+            obj_read(a, check, 8);
+            int a_now = peek(check, 0);
+            obj_read(b, check, 8);
+            int b_now = peek(check, 0);
+            // success flag, and the swapped contents encoded in the exit code
+            return ok * 10000 + a_now * 100 + b_now;
+        }
+    "#;
+    // ok=1, a now holds 22, b now holds 11.
+    assert_eq!(exit_code(source), 1 * 10000 + 22 * 100 + 11);
+}
+
+/// Figure 1 with injected failures: the speculative version aborts and the
+/// objects keep their original contents — the atomicity the traditional
+/// version cannot provide when its compensating write also fails.
+#[test]
+fn figure1_transfer_aborts_atomically_under_failures() {
+    let source = r#"
+        int transfer(int obj1, int obj2, int k) {
+            buffer buf1 = alloc_buffer(k);
+            buffer buf2 = alloc_buffer(k);
+            int specid = speculate();
+            if (specid > 0) {
+                if (obj_read(obj1, buf1, k) != k) { abort(specid); }
+                if (obj_read(obj2, buf2, k) != k) { abort(specid); }
+                if (obj_write(obj1, buf2, k) != k) { abort(specid); }
+                if (obj_write(obj2, buf1, k) != k) { abort(specid); }
+                commit(specid);
+                return 1;
+            }
+            return 0;
+        }
+        int main() {
+            int a = obj_create(8);
+            int b = obj_create(8);
+            buffer init = alloc_buffer(8);
+            poke(init, 0, 11);
+            obj_write(a, init, 8);
+            poke(init, 0, 22);
+            obj_write(b, init, 8);
+
+            // Every subsequent object operation fails (reads return 0,
+            // writes are partial).
+            obj_set_fail_rate(100);
+            int ok = transfer(a, b, 8);
+            obj_set_fail_rate(0);
+
+            buffer check = alloc_buffer(8);
+            obj_read(a, check, 8);
+            int a_now = peek(check, 0);
+            obj_read(b, check, 8);
+            int b_now = peek(check, 0);
+            return ok * 10000 + a_now * 100 + b_now;
+        }
+    "#;
+    // ok=0 and both objects still hold their original values: the aborted
+    // speculation rolled back every partial effect.
+    assert_eq!(exit_code(source), 11 * 100 + 22);
+}
+
+#[test]
+fn speculation_rollback_restores_locals_too() {
+    // Local variables live in the heap frame, so rollback restores them.
+    let source = r#"
+        int main() {
+            int x = 5;
+            int specid = speculate();
+            if (specid > 0) {
+                x = 99;
+                abort(specid);
+            }
+            return x;
+        }
+    "#;
+    assert_eq!(exit_code(source), 5);
+}
+
+#[test]
+fn retry_reenters_with_the_same_id() {
+    let source = r#"
+        int main() {
+            int attempts = 0;
+            int specid = speculate();
+            attempts = attempts + 1;
+            if (attempts < 3) {
+                retry(specid);
+            }
+            commit(specid);
+            return specid * 100 + attempts;
+        }
+    "#;
+    // NOTE: attempts is rolled back along with everything else, so the retry
+    // loop would never terminate if rollback restored it — the program works
+    // because `attempts` is incremented after speculation entry and the
+    // rollback restores it to the value it had *at entry*... which is 0 every
+    // time.  To keep the program terminating we bound it differently below.
+    // This test therefore asserts the *non-terminating* variant is caught by
+    // the step budget, documenting the semantics.
+    let program = compile_source(source).unwrap();
+    let config = ProcessConfig {
+        step_budget: Some(100_000),
+        ..ProcessConfig::default()
+    };
+    let mut p = Process::new(program, config).unwrap();
+    assert!(matches!(
+        p.run(),
+        Err(mojave_core::RuntimeError::StepBudgetExhausted { .. })
+    ));
+}
+
+#[test]
+fn checkpoint_writes_an_image_and_execution_continues() {
+    let source = r#"
+        int main() {
+            int total = 0;
+            for (int step = 1; step <= 10; step = step + 1) {
+                total = total + step;
+                if (step == 5) {
+                    checkpoint("grid-step-5");
+                }
+            }
+            return total;
+        }
+    "#;
+    let program = compile_source(source).unwrap();
+    let store = CheckpointStore::new();
+    let sink = InMemorySink::with_store(store.clone());
+    let mut p = Process::new(program, ProcessConfig::default())
+        .unwrap()
+        .with_sink(Box::new(sink));
+    assert_eq!(p.run().unwrap(), RunOutcome::Exit(55));
+    assert_eq!(p.stats().checkpoints, 1);
+    assert_eq!(store.names(), vec!["grid-step-5".to_owned()]);
+
+    // The checkpoint is an executable image: resuming it re-runs the loop
+    // from step 6 and produces the same final answer.
+    let image = store.load("grid-step-5").unwrap();
+    let mut resumed = Process::from_image(image, ProcessConfig::default()).unwrap();
+    assert_eq!(resumed.run().unwrap(), RunOutcome::Exit(55));
+}
+
+#[test]
+fn suspend_stops_the_process_and_resume_completes_it() {
+    let source = r#"
+        int main() {
+            int x = 20;
+            suspend("paused-here");
+            return x + 1;
+        }
+    "#;
+    let program = compile_source(source).unwrap();
+    let store = CheckpointStore::new();
+    let sink = InMemorySink::with_store(store.clone());
+    let mut p = Process::new(program, ProcessConfig::default())
+        .unwrap()
+        .with_sink(Box::new(sink));
+    assert_eq!(
+        p.run().unwrap(),
+        RunOutcome::Suspended {
+            target: "paused-here".to_owned()
+        }
+    );
+    let image = store.load("paused-here").unwrap();
+    let mut resumed = Process::from_image(image, ProcessConfig::default()).unwrap();
+    assert_eq!(resumed.run().unwrap(), RunOutcome::Exit(21));
+}
+
+#[test]
+fn migrate_to_unreachable_node_continues_locally() {
+    let source = r#"
+        int main() {
+            migrate("node-that-does-not-exist");
+            return 3;
+        }
+    "#;
+    let program = compile_source(source).unwrap();
+    let mut p = Process::new(program, ProcessConfig::default()).unwrap();
+    assert_eq!(p.run().unwrap(), RunOutcome::Exit(3));
+    assert_eq!(p.stats().migration_failures, 1);
+}
+
+#[test]
+fn nested_function_calls_in_expressions_are_hoisted() {
+    let source = r#"
+        int double_it(int x) { return x * 2; }
+        int inc(int x) { return x + 1; }
+        int main() {
+            return double_it(inc(4)) + inc(double_it(3));
+        }
+    "#;
+    assert_eq!(exit_code(source), 17);
+}
+
+#[test]
+fn logical_operators_are_strict_but_correct() {
+    assert_eq!(
+        exit_code(
+            r#"
+            int main() {
+                bool a = true;
+                bool b = false;
+                int n = 0;
+                if (a && !b) { n = n + 1; }
+                if (a || b) { n = n + 10; }
+                if (b && a) { n = n + 100; }
+                return n;
+            }
+            "#
+        ),
+        11
+    );
+}
+
+#[test]
+fn compile_errors_for_bad_programs() {
+    // Unknown variable.
+    assert!(compile_source("int main() { return y; }").is_err());
+    // Unknown function.
+    assert!(compile_source("int main() { return nope(); }").is_err());
+    // Duplicate declaration in one scope.
+    assert!(compile_source("int main() { int x = 1; int x = 2; return x; }").is_err());
+    // `commit` inside an expression.
+    assert!(compile_source("int main() { int x = commit(1) + 1; return x; }").is_err());
+    // Wrong arity for an extern.
+    assert!(compile_source("int main() { print_int(1, 2); return 0; }").is_err());
+    // No main.
+    assert!(compile_source("int helper() { return 1; }").is_err());
+    // main with parameters.
+    assert!(compile_source("int main(int argc) { return argc; }").is_err());
+    // User call in a while condition.
+    assert!(compile_source(
+        "int f() { return 0; } int main() { while (f() < 1) { } return 0; }"
+    )
+    .is_err());
+}
+
+#[test]
+fn scoped_declarations_get_distinct_slots() {
+    let source = r#"
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 3; i = i + 1) { total = total + i; }
+            for (int i = 0; i < 4; i = i + 1) { total = total + 10; }
+            if (total > 0) { int inner = 5; total = total + inner; }
+            return total;
+        }
+    "#;
+    assert_eq!(exit_code(source), 3 + 40 + 5);
+}

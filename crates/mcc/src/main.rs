@@ -1,0 +1,211 @@
+//! `mcc` — the Mojave compiler driver.
+//!
+//! Subcommands:
+//!
+//! * `mcc compile <file.mj>` — compile MojaveC and print the FIR.
+//! * `mcc run <file.mj> [--interp] [--steps N]` — compile and run a program.
+//! * `mcc resume <checkpoint.img>` — execute a checkpoint image file
+//!   (checkpoints are "formatted as executable files"; this is the
+//!   executor).
+//! * `mcc inspect <checkpoint.img>` — describe a checkpoint/migration image.
+//!
+//! Programs run with the standard externals; checkpoints and suspends are
+//! written as `<name>.img` files in the current directory so they can be
+//! resumed later with `mcc resume`.
+
+use mojave_core::{
+    BackendKind, DeliveryOutcome, MigrationImage, MigrationSink, Process, ProcessConfig,
+    RunOutcome,
+};
+use mojave_fir::MigrateProtocol;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// A sink that writes checkpoint/suspend images to files in the working
+/// directory, mirroring the paper's checkpoint-to-disk protocol.
+struct FileSink;
+
+impl MigrationSink for FileSink {
+    fn deliver(
+        &mut self,
+        protocol: MigrateProtocol,
+        target: &str,
+        image: &MigrationImage,
+    ) -> DeliveryOutcome {
+        match protocol {
+            MigrateProtocol::Checkpoint | MigrateProtocol::Suspend => {
+                let path = format!("{}.img", target.replace(['/', ':'], "_"));
+                match std::fs::write(&path, image.to_bytes()) {
+                    Ok(()) => {
+                        eprintln!("mcc: wrote {} ({} bytes)", path, image.byte_size());
+                        DeliveryOutcome::Stored
+                    }
+                    Err(e) => DeliveryOutcome::Failed(e.to_string()),
+                }
+            }
+            MigrateProtocol::Migrate => DeliveryOutcome::Failed(
+                "mcc run is a single-machine driver; use the cluster API for migrate://".into(),
+            ),
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  mcc compile <file.mj>");
+    eprintln!("  mcc run <file.mj> [--interp] [--steps N]");
+    eprintln!("  mcc resume <image.img> [--interp]");
+    eprintln!("  mcc inspect <image.img>");
+    ExitCode::from(2)
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn compile(path: &str) -> Result<mojave_fir::Program, String> {
+    let source = read_source(path)?;
+    mojave_lang::compile_source(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_config(args: &[String]) -> ProcessConfig {
+    let mut config = ProcessConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--interp" => config.backend = BackendKind::Interp,
+            "--steps" => {
+                config.step_budget = iter.next().and_then(|s| s.parse().ok());
+            }
+            _ => {}
+        }
+    }
+    config
+}
+
+fn run_process(mut process: Process) -> ExitCode {
+    match process.run() {
+        Ok(RunOutcome::Exit(code)) => {
+            for line in process.output() {
+                println!("{line}");
+            }
+            eprintln!(
+                "mcc: exited with {code} after {} steps ({} speculations, {} rollbacks, {} checkpoints)",
+                process.stats().steps,
+                process.stats().speculations,
+                process.stats().rollbacks,
+                process.stats().checkpoints,
+            );
+            ExitCode::from((code & 0xFF) as u8)
+        }
+        Ok(RunOutcome::Suspended { target }) => {
+            eprintln!("mcc: process suspended to `{target}`");
+            ExitCode::SUCCESS
+        }
+        Ok(RunOutcome::MigratedAway { target }) => {
+            eprintln!("mcc: process migrated to `{target}`");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mcc: runtime error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "compile" => {
+            let Some(path) = args.get(1) else { return usage() };
+            match compile(path) {
+                Ok(program) => {
+                    print!("{}", mojave_fir::display::program_to_string(&program));
+                    eprintln!(
+                        "mcc: {} functions, {} expression nodes",
+                        program.funs.len(),
+                        program.size()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("mcc: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "run" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let config = parse_config(&args[2..]);
+            match compile(path).and_then(|program| {
+                Process::new(program, config).map_err(|e| e.to_string())
+            }) {
+                Ok(process) => run_process(process.with_sink(Box::new(FileSink))),
+                Err(e) => {
+                    eprintln!("mcc: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "resume" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let config = parse_config(&args[2..]);
+            let bytes = match std::fs::read(Path::new(path)) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("mcc: cannot read `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match MigrationImage::from_bytes(&bytes)
+                .map_err(|e| e.to_string())
+                .and_then(|image| Process::from_image(image, config).map_err(|e| e.to_string()))
+            {
+                Ok(process) => run_process(process.with_sink(Box::new(FileSink))),
+                Err(e) => {
+                    eprintln!("mcc: invalid image: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "inspect" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let bytes = match std::fs::read(Path::new(path)) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("mcc: cannot read `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match MigrationImage::from_bytes(&bytes) {
+                Ok(image) => {
+                    println!("source architecture : {}", image.source_arch);
+                    println!("image size          : {} bytes", bytes.len());
+                    println!("heap section        : {} bytes", image.heap_image.len());
+                    println!("resume label        : L{}", image.label);
+                    println!("open speculations   : {}", image.open_speculations);
+                    match &image.code {
+                        mojave_core::migrate::PackedCode::Fir(p) => {
+                            println!("code                : FIR, {} functions, {} nodes", p.funs.len(), p.size());
+                        }
+                        mojave_core::migrate::PackedCode::Binary { arch, bytecode } => {
+                            println!(
+                                "code                : bytecode for {arch}, {} instructions",
+                                bytecode.instruction_count()
+                            );
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("mcc: invalid image: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

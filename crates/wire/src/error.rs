@@ -1,0 +1,108 @@
+//! Decode-side error type.
+
+use std::fmt;
+
+/// Errors produced while decoding a wire image.
+///
+/// Encoding never fails (the writer owns a growable buffer); every failure
+/// mode lives on the decode side, where the input may be truncated,
+/// corrupted, produced by a different runtime version, or adversarial (the
+/// paper's migration server accepts images from untrusted peers and must be
+/// able to reject them safely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes while decoding a value.
+    UnexpectedEof {
+        /// What was being decoded when the input ended.
+        context: &'static str,
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes were actually available.
+        available: usize,
+    },
+    /// A discriminant/tag byte had an unknown value.
+    BadTag {
+        /// The structure whose tag was invalid.
+        context: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// A length prefix exceeded the sanity limit for its context.
+    LengthOverflow {
+        /// The structure whose length was implausible.
+        context: &'static str,
+        /// The decoded length.
+        len: u64,
+    },
+    /// A varint used more bytes than a 64-bit value can require.
+    VarintTooLong,
+    /// A string section did not contain valid UTF-8.
+    InvalidUtf8,
+    /// The image magic number did not match [`crate::MAGIC`].
+    BadMagic {
+        /// The magic value found in the image.
+        found: u32,
+    },
+    /// The image was produced by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the image.
+        found: u32,
+        /// Version this runtime expects.
+        expected: u32,
+    },
+    /// A section tag did not match what the decoder expected next.
+    SectionMismatch {
+        /// The tag the decoder expected.
+        expected: &'static str,
+        /// The raw tag value found.
+        found: u8,
+    },
+    /// The buffer contained extra bytes after a complete top-level value.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A semantic constraint was violated (e.g. an index out of range for
+    /// the table it refers to).  Carries a human-readable description.
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "unexpected end of image while decoding {context}: needed {needed} bytes, {available} available"
+            ),
+            WireError::BadTag { context, tag } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
+            WireError::LengthOverflow { context, len } => {
+                write!(f, "implausible length {len} while decoding {context}")
+            }
+            WireError::VarintTooLong => write!(f, "varint longer than 10 bytes"),
+            WireError::InvalidUtf8 => write!(f, "string section is not valid UTF-8"),
+            WireError::BadMagic { found } => {
+                write!(f, "bad image magic {found:#010x}")
+            }
+            WireError::VersionMismatch { found, expected } => write!(
+                f,
+                "image format version {found} is not supported (expected {expected})"
+            ),
+            WireError::SectionMismatch { expected, found } => write!(
+                f,
+                "expected section {expected}, found tag byte {found:#04x}"
+            ),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after top-level value")
+            }
+            WireError::Invalid(msg) => write!(f, "invalid image: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

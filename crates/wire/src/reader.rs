@@ -1,0 +1,278 @@
+//! The decode half of the wire format.
+
+use crate::error::WireError;
+use crate::tags::{SectionTag, FORMAT_VERSION, MAGIC};
+
+/// Sanity bound on any single length prefix.  Migration images for the
+/// workloads in the paper are a few megabytes; a length prefix claiming more
+/// than this is corruption or an adversarial image and is rejected before we
+/// try to allocate for it.
+pub const MAX_REASONABLE_LEN: u64 = 1 << 32;
+
+/// Cursor-style decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Create a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a single byte.
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn read_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2, "u16")?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn read_i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.read_u64()? as i64)
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn read_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Read a boolean; any byte other than 0 or 1 is an error.
+    pub fn read_bool(&mut self) -> Result<bool, WireError> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag {
+                context: "bool",
+                tag: tag as u64,
+            }),
+        }
+    }
+
+    /// Read an unsigned LEB128 varint.
+    pub fn read_uvarint(&mut self) -> Result<u64, WireError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift >= 64 {
+                return Err(WireError::VarintTooLong);
+            }
+            result |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a zig-zag signed varint.
+    pub fn read_ivarint(&mut self) -> Result<i64, WireError> {
+        let zz = self.read_uvarint()?;
+        Ok(((zz >> 1) as i64) ^ -((zz & 1) as i64))
+    }
+
+    /// Read a length prefix, applying the [`MAX_REASONABLE_LEN`] sanity bound
+    /// and also bounding it by the number of bytes remaining (an element
+    /// cannot occupy less than one byte, so a length greater than
+    /// `remaining()` is always corrupt).
+    pub fn read_len(&mut self) -> Result<usize, WireError> {
+        let len = self.read_uvarint()?;
+        if len > MAX_REASONABLE_LEN {
+            return Err(WireError::LengthOverflow {
+                context: "sequence",
+                len,
+            });
+        }
+        Ok(len as usize)
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.read_len()?;
+        self.take(len, "bytes")
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<&'a str, WireError> {
+        let bytes = self.read_bytes()?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Read a uvarint-encoded `usize`.
+    pub fn read_usize(&mut self) -> Result<usize, WireError> {
+        Ok(self.read_uvarint()? as usize)
+    }
+
+    /// Read and validate the standard image header written by
+    /// [`crate::WireWriter::write_header`]; returns the source architecture.
+    pub fn read_header(&mut self) -> Result<String, WireError> {
+        self.expect_section(SectionTag::Header)?;
+        let magic = self.read_u32()?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic { found: magic });
+        }
+        let version = self.read_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(WireError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        Ok(self.read_str()?.to_owned())
+    }
+
+    /// Read a section tag and require it to be `expected`.
+    pub fn expect_section(&mut self, expected: SectionTag) -> Result<(), WireError> {
+        let byte = self.read_u8()?;
+        if SectionTag::from_u8(byte) == Some(expected) {
+            Ok(())
+        } else {
+            Err(WireError::SectionMismatch {
+                expected: expected.name(),
+                found: byte,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::WireWriter;
+
+    #[test]
+    fn uvarint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 255, 256, 16383, 16384, u64::MAX] {
+            let mut w = WireWriter::new();
+            w.write_uvarint(v);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(r.read_uvarint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrip_boundaries() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            let mut w = WireWriter::new();
+            w.write_ivarint(v);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(r.read_ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_too_long_rejected() {
+        // 11 continuation bytes exceed the 64-bit range.
+        let bytes = [0x80u8; 10];
+        let mut r = WireReader::new(&bytes);
+        let err = r.read_uvarint().unwrap_err();
+        // Either we run off the end or hit VarintTooLong depending on length;
+        // with exactly 10 continuation bytes the shift check fires first.
+        assert!(matches!(
+            err,
+            WireError::VarintTooLong | WireError::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn header_version_mismatch_detected() {
+        let mut w = WireWriter::new();
+        w.write_section(SectionTag::Header);
+        w.write_u32(MAGIC);
+        w.write_u32(FORMAT_VERSION + 1);
+        w.write_str("riscv-sim");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.read_header().unwrap_err(),
+            WireError::VersionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn header_bad_magic_detected() {
+        let mut w = WireWriter::new();
+        w.write_section(SectionTag::Header);
+        w.write_u32(0x1234_5678);
+        w.write_u32(FORMAT_VERSION);
+        w.write_str("x86_64");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.read_header().unwrap_err(),
+            WireError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn section_mismatch_reported() {
+        let mut w = WireWriter::new();
+        w.write_section(SectionTag::HeapBlocks);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let err = r.expect_section(SectionTag::PointerTable).unwrap_err();
+        assert!(matches!(err, WireError::SectionMismatch { .. }));
+    }
+
+    #[test]
+    fn bool_rejects_other_bytes() {
+        let bytes = [2u8];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.read_bool().unwrap_err(),
+            WireError::BadTag { .. }
+        ));
+    }
+}

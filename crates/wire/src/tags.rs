@@ -1,0 +1,95 @@
+//! Image magic, format version and section tags.
+
+/// Magic number written at the start of every migration/checkpoint image.
+///
+/// Spells "MJVE" in ASCII when viewed little-endian in a hex dump, which is
+/// handy when inspecting checkpoint files on disk.
+pub const MAGIC: u32 = 0x4556_4A4D;
+
+/// Version of the wire format.  The migration server refuses images whose
+/// version does not match exactly; there is no cross-version compatibility
+/// story (both ends of a migration run the same runtime).
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Section tags delimit the major regions of a migration image so that a
+/// decoder can fail fast with a precise error instead of misinterpreting
+/// bytes from one section as another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SectionTag {
+    /// Image header (magic, version, source architecture).
+    Header = 0x01,
+    /// Serialised FIR program text.
+    FirProgram = 0x02,
+    /// The pointer table (indices and block offsets).
+    PointerTable = 0x03,
+    /// Heap block payloads.
+    HeapBlocks = 0x04,
+    /// The function table.
+    FunctionTable = 0x05,
+    /// The migrate environment (live variables packed into the heap).
+    MigrateEnv = 0x06,
+    /// Resume metadata (migration label, protocol, target string).
+    Resume = 0x07,
+    /// Compiled bytecode image (only present in binary-migration images).
+    Bytecode = 0x08,
+    /// Speculation-state summary (open levels, for diagnostics only).
+    Speculation = 0x09,
+}
+
+impl SectionTag {
+    /// All tags, in the order sections appear in an image.
+    pub const ALL: [SectionTag; 9] = [
+        SectionTag::Header,
+        SectionTag::FirProgram,
+        SectionTag::PointerTable,
+        SectionTag::HeapBlocks,
+        SectionTag::FunctionTable,
+        SectionTag::MigrateEnv,
+        SectionTag::Resume,
+        SectionTag::Bytecode,
+        SectionTag::Speculation,
+    ];
+
+    /// Human-readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionTag::Header => "Header",
+            SectionTag::FirProgram => "FirProgram",
+            SectionTag::PointerTable => "PointerTable",
+            SectionTag::HeapBlocks => "HeapBlocks",
+            SectionTag::FunctionTable => "FunctionTable",
+            SectionTag::MigrateEnv => "MigrateEnv",
+            SectionTag::Resume => "Resume",
+            SectionTag::Bytecode => "Bytecode",
+            SectionTag::Speculation => "Speculation",
+        }
+    }
+
+    /// Decode a tag byte.
+    pub fn from_u8(byte: u8) -> Option<SectionTag> {
+        SectionTag::ALL.into_iter().find(|t| *t as u8 == byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip_through_bytes() {
+        for tag in SectionTag::ALL {
+            assert_eq!(SectionTag::from_u8(tag as u8), Some(tag));
+        }
+        assert_eq!(SectionTag::from_u8(0x00), None);
+        assert_eq!(SectionTag::from_u8(0xFF), None);
+    }
+
+    #[test]
+    fn tag_names_are_unique() {
+        let mut names: Vec<_> = SectionTag::ALL.iter().map(|t| t.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), SectionTag::ALL.len());
+    }
+}

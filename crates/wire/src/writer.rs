@@ -1,0 +1,172 @@
+//! The encode half of the wire format.
+
+use crate::tags::{SectionTag, FORMAT_VERSION, MAGIC};
+
+/// Append-only encoder producing the canonical Mojave byte format.
+///
+/// The writer never fails: it owns a growable `Vec<u8>` and every `write_*`
+/// method appends the little-endian / LEB128 encoding of its argument.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// Create a writer with a pre-sized buffer, useful when the caller knows
+    /// the approximate image size (e.g. packing a heap of known byte count).
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer and return the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write a single byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u16`, little-endian.
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`, little-endian two's complement.
+    pub fn write_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern (NaN payloads preserved).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Write a boolean as a single 0/1 byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Write an unsigned LEB128 varint.
+    pub fn write_uvarint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Write a signed varint using zig-zag encoding.
+    pub fn write_ivarint(&mut self, v: i64) {
+        let zz = ((v << 1) ^ (v >> 63)) as u64;
+        self.write_uvarint(zz);
+    }
+
+    /// Write a length-prefixed byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_uvarint(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Write a `usize` as a uvarint (canonical regardless of host width).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_uvarint(v as u64);
+    }
+
+    /// Write the standard image header: magic, format version and an
+    /// arbitrary source-architecture string (the paper records the source
+    /// architecture so heterogeneous migration can be observed in logs even
+    /// though the heap needs no translation).
+    pub fn write_header(&mut self, source_arch: &str) {
+        self.write_section(SectionTag::Header);
+        self.write_u32(MAGIC);
+        self.write_u32(FORMAT_VERSION);
+        self.write_str(source_arch);
+    }
+
+    /// Write a section tag byte.
+    pub fn write_section(&mut self, tag: SectionTag) {
+        self.write_u8(tag as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut w = WireWriter::new();
+            w.write_uvarint(v);
+            assert_eq!(w.len(), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn uvarint_known_encodings() {
+        let mut w = WireWriter::new();
+        w.write_uvarint(300);
+        assert_eq!(w.as_bytes(), &[0xAC, 0x02]);
+    }
+
+    #[test]
+    fn ivarint_zigzag() {
+        // -1 zig-zags to 1, 1 zig-zags to 2.
+        let mut w = WireWriter::new();
+        w.write_ivarint(-1);
+        w.write_ivarint(1);
+        assert_eq!(w.as_bytes(), &[1, 2]);
+    }
+
+    #[test]
+    fn header_layout() {
+        let mut w = WireWriter::new();
+        w.write_header("x86_64-sim");
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], SectionTag::Header as u8);
+        assert_eq!(&bytes[1..5], &MAGIC.to_le_bytes());
+    }
+}

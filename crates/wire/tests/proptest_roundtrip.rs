@@ -1,0 +1,105 @@
+//! Property tests: every value the writer can produce is decoded back
+//! bit-for-bit, and the decoder never panics on arbitrary byte soup.
+
+use mojave_wire::{from_bytes, to_bytes, WireReader, WireWriter};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uvarint_roundtrip(v in any::<u64>()) {
+        let mut w = WireWriter::new();
+        w.write_uvarint(v);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.read_uvarint().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ivarint_roundtrip(v in any::<i64>()) {
+        let mut w = WireWriter::new();
+        w.write_ivarint(v);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.read_ivarint().unwrap(), v);
+    }
+
+    #[test]
+    fn f64_bits_roundtrip(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let mut w = WireWriter::new();
+        w.write_f64(v);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.read_f64().unwrap().to_bits(), bits);
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".*") {
+        let mut w = WireWriter::new();
+        w.write_str(&s);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.read_str().unwrap(), s.as_str());
+    }
+
+    #[test]
+    fn byte_vec_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut w = WireWriter::new();
+        w.write_bytes(&data);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.read_bytes().unwrap(), data.as_slice());
+    }
+
+    #[test]
+    fn vec_u64_codec_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..256)) {
+        let bytes = to_bytes(&v);
+        let back: Vec<u64> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn mixed_sequence_roundtrip(
+        ints in proptest::collection::vec(any::<i64>(), 0..64),
+        floats in proptest::collection::vec(any::<f64>(), 0..64),
+        strs in proptest::collection::vec(".{0,32}", 0..32),
+    ) {
+        let mut w = WireWriter::new();
+        w.write_usize(ints.len());
+        for &i in &ints { w.write_ivarint(i); }
+        w.write_usize(floats.len());
+        for &f in &floats { w.write_f64(f); }
+        w.write_usize(strs.len());
+        for s in &strs { w.write_str(s); }
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes);
+        let n = r.read_usize().unwrap();
+        prop_assert_eq!(n, ints.len());
+        for &i in &ints { prop_assert_eq!(r.read_ivarint().unwrap(), i); }
+        let n = r.read_usize().unwrap();
+        prop_assert_eq!(n, floats.len());
+        for &f in &floats { prop_assert_eq!(r.read_f64().unwrap().to_bits(), f.to_bits()); }
+        let n = r.read_usize().unwrap();
+        prop_assert_eq!(n, strs.len());
+        for s in &strs { prop_assert_eq!(r.read_str().unwrap(), s.as_str()); }
+        prop_assert!(r.is_empty());
+    }
+
+    /// Decoding arbitrary garbage must never panic — the migration server
+    /// receives images from untrusted peers.
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = WireReader::new(&data);
+        let _ = r.read_header();
+        let mut r = WireReader::new(&data);
+        let _ = r.read_str();
+        let mut r = WireReader::new(&data);
+        let _ = r.read_bytes();
+        let mut r = WireReader::new(&data);
+        while r.read_uvarint().is_ok() {}
+        let _ = from_bytes::<Vec<u64>>(&data);
+        let _ = from_bytes::<Vec<String>>(&data);
+    }
+}

@@ -1,0 +1,69 @@
+//! The Rx-style recovery sketch from §2 of the paper: speculation turns a
+//! buffer overflow into a rollback plus a retry along a different execution
+//! path (allocating a larger buffer), instead of a crash.
+//!
+//! ```text
+//! cargo run --example buffer_overflow_rx
+//! ```
+
+use mojave::core::{Process, ProcessConfig, RunOutcome};
+use mojave::lang::compile_source;
+
+const SOURCE: &str = r#"
+    // Fill a buffer with n bytes.  The initial guess for the allocation is
+    // too small; the bounds check in the write loop detects the overflow
+    // before it corrupts memory and aborts the speculation, and the
+    // re-entered path allocates a larger buffer and retries.
+    int main() {
+        int n = 100;
+        int guess = 16;
+
+        int filled = 0;
+        int attempts = 0;
+        int specid = speculate();
+        // After an abort, speculate() returns 0 and we fall into the
+        // recovery path with a bigger allocation.
+        int capacity = guess;
+        if (specid == 0) { capacity = n; }
+        attempts = attempts + 1;
+
+        buffer data = alloc_buffer(capacity);
+        int ok = 1;
+        for (int i = 0; i < n; i = i + 1) {
+            if (i >= capacity) {
+                // Overflow about to happen: roll back instead of crashing.
+                if (specid > 0) { abort(specid); }
+                ok = 0;
+            }
+            if (ok == 1) { poke(data, i, i % 256); }
+        }
+        if (specid > 0) { commit(specid); }
+
+        // Count how many bytes actually landed.
+        for (int i = 0; i < capacity; i = i + 1) {
+            if (i < n) { filled = filled + 1; }
+        }
+        print_str("bytes filled:");
+        print_int(filled);
+        print_str("attempts:");
+        print_int(attempts);
+        return filled;
+    }
+"#;
+
+fn main() {
+    let program = compile_source(SOURCE).expect("program compiles");
+    let mut process = Process::new(program, ProcessConfig::default()).expect("verifies");
+    let outcome = process.run().expect("runs");
+    for line in process.output() {
+        println!("program output: {line}");
+    }
+    println!(
+        "speculations: {}, rollbacks: {}",
+        process.stats().speculations,
+        process.stats().rollbacks
+    );
+    assert_eq!(outcome, RunOutcome::Exit(100));
+    assert_eq!(process.stats().rollbacks, 1, "the overflow triggered one rollback");
+    println!("the overflow was absorbed by a rollback and the retry completed the work");
+}

@@ -1,0 +1,79 @@
+//! Whole-process migration between heterogeneous cluster nodes.
+//!
+//! A MojaveC program starts a long computation on node 0 (tagged `ia32-sim`),
+//! migrates itself to node 1 (tagged `risc-sim`), and finishes there.  The
+//! migration ships the FIR — not executable text — so the destination
+//! verifies and recompiles the program before resuming it, and the process
+//! itself cannot tell it moved (it is "indifferent to the machine it is
+//! running on").
+//!
+//! ```text
+//! cargo run --example migration_cluster
+//! ```
+
+use mojave::cluster::{Cluster, ClusterConfig, ClusterSink, MigrationDaemon};
+use mojave::core::{Process, ProcessConfig, RunOutcome};
+use mojave::lang::compile_source;
+
+const SOURCE: &str = r#"
+    int weigh(int n) {
+        // A little work before and after the move.
+        int acc = 0;
+        for (int i = 1; i <= n; i = i + 1) { acc = acc + i * i; }
+        return acc;
+    }
+    int main() {
+        int before = weigh(50);
+        print_str("computed the first half; migrating to node1");
+        migrate("node1");
+        // Execution resumes here on whichever machine accepted the process.
+        int after = weigh(25);
+        print_str("finished the second half");
+        return before + after;
+    }
+"#;
+
+fn main() {
+    let program = compile_source(SOURCE).expect("program compiles");
+    let cluster = Cluster::new(ClusterConfig::new(2));
+    println!(
+        "cluster: node0 = {}, node1 = {}",
+        cluster.arch(0),
+        cluster.arch(1)
+    );
+
+    // Start the process on node 0.
+    let config = ProcessConfig {
+        machine: mojave::core::Machine::new(cluster.arch(0)),
+        ..ProcessConfig::default()
+    };
+    let mut source_process = Process::new(program, config)
+        .expect("verifies")
+        .with_sink(Box::new(ClusterSink::new(cluster.clone(), 0)));
+    let outcome = source_process.run().expect("runs on node 0");
+    println!("node0 outcome: {outcome:?}");
+    for line in source_process.output() {
+        println!("  node0 output: {line}");
+    }
+    assert_eq!(
+        outcome,
+        RunOutcome::MigratedAway {
+            target: "node1".to_owned()
+        }
+    );
+
+    // The migration daemon on node 1 verifies, recompiles and resumes it.
+    let daemon = MigrationDaemon::new(cluster.clone(), 1);
+    let results = daemon.run_pending(&ProcessConfig::default());
+    assert_eq!(results.len(), 1);
+    let final_outcome = results[0].as_ref().expect("resumed run succeeds");
+    println!("node1 outcome: {final_outcome:?}");
+    println!(
+        "bytes moved over the simulated network: {}",
+        cluster.bytes_transferred()
+    );
+
+    // 1² + … + 50² = 42925, 1² + … + 25² = 5525.
+    assert_eq!(*final_outcome, RunOutcome::Exit(42_925 + 5_525));
+    println!("the process finished on node1 with the same answer it would have computed locally");
+}

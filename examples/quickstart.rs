@@ -1,0 +1,74 @@
+//! Quickstart: compile a MojaveC program that uses speculation and
+//! checkpointing, run it, and resume the checkpoint it wrote.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mojave::core::{CheckpointStore, InMemorySink, Process, ProcessConfig, RunOutcome};
+use mojave::lang::compile_source;
+
+const SOURCE: &str = r#"
+    // Sum the squares of 0..n, checkpointing halfway, with the whole loop
+    // body guarded by a speculation that commits before the checkpoint.
+    int main() {
+        int n = 10;
+        int total = 0;
+        int specid = speculate();
+        for (int i = 0; i < n; i = i + 1) {
+            total = total + i * i;
+            if (i == 5) {
+                commit(specid);
+                checkpoint("quickstart-halfway");
+                specid = speculate();
+            }
+        }
+        commit(specid);
+        print_str("total:");
+        print_int(total);
+        return total;
+    }
+"#;
+
+fn main() {
+    // 1. Compile MojaveC → FIR.  The FIR is validated and type-checked.
+    let program = compile_source(SOURCE).expect("program compiles");
+    println!(
+        "compiled: {} FIR functions, {} expression nodes",
+        program.funs.len(),
+        program.size()
+    );
+
+    // 2. Run it.  Checkpoints go to an in-memory store we keep a handle to.
+    let store = CheckpointStore::new();
+    let sink = InMemorySink::with_store(store.clone());
+    let mut process = Process::new(program, ProcessConfig::default())
+        .expect("program verifies")
+        .with_sink(Box::new(sink));
+    let outcome = process.run().expect("program runs");
+    println!("first run finished with {outcome:?}");
+    for line in process.output() {
+        println!("  program output: {line}");
+    }
+    println!(
+        "stats: {} speculations, {} commits, {} checkpoints",
+        process.stats().speculations,
+        process.stats().commits,
+        process.stats().checkpoints
+    );
+
+    // 3. The checkpoint is a complete process image: resume it.
+    let image = store.load("quickstart-halfway").expect("checkpoint exists");
+    println!(
+        "checkpoint image: {} bytes, packed on `{}`",
+        image.byte_size(),
+        image.source_arch
+    );
+    let mut resumed = Process::from_image(image, ProcessConfig::default()).expect("image verifies");
+    let resumed_outcome = resumed.run().expect("resumed run completes");
+    println!("resumed run finished with {resumed_outcome:?}");
+
+    assert_eq!(outcome, RunOutcome::Exit(285));
+    assert_eq!(resumed_outcome, RunOutcome::Exit(285));
+    println!("quickstart OK");
+}

@@ -1,0 +1,50 @@
+//! # mojave
+//!
+//! Umbrella crate for **Mojave-RS**, a Rust reproduction of *"The Mojave
+//! Compiler: Providing Language Primitives for Whole-Process Migration and
+//! Speculation for Distributed Applications"* (Smith, Țăpuș, Hickey —
+//! IPDPS 2007).
+//!
+//! This crate simply re-exports the workspace members so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`wire`] — architecture-independent binary encoding for images,
+//! * [`fir`] — the semi-functional intermediate representation,
+//! * [`heap`] — runtime heap, pointer table and garbage collector,
+//! * [`core`] — the runtime: interpreter, bytecode backend, speculation
+//!   manager and migration engine (the paper's primary contribution),
+//! * [`lang`] — the MojaveC front end,
+//! * [`cluster`] — the simulated distributed environment,
+//! * [`grid`] — the canonical grid computation application.
+//!
+//! ## Quickstart
+//!
+//! Compile and run a MojaveC program that uses speculation:
+//!
+//! ```
+//! use mojave::lang::compile_source;
+//! use mojave::core::{Process, RunOutcome};
+//!
+//! let source = r#"
+//!     int main() {
+//!         int id = speculate();
+//!         if (id > 0) {
+//!             commit(id);
+//!             return 41 + 1;
+//!         }
+//!         return 0;
+//!     }
+//! "#;
+//! let program = compile_source(source).expect("compiles");
+//! let mut process = Process::from_program(program);
+//! let outcome = process.run().expect("runs");
+//! assert_eq!(outcome, RunOutcome::Exit(42));
+//! ```
+
+pub use mojave_cluster as cluster;
+pub use mojave_core as core;
+pub use mojave_fir as fir;
+pub use mojave_grid as grid;
+pub use mojave_heap as heap;
+pub use mojave_lang as lang;
+pub use mojave_wire as wire;
