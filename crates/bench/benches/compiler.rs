@@ -14,19 +14,27 @@ const SIZES: [usize; 3] = [4, 16, 64];
 
 fn frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("compiler/frontend");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in SIZES {
         let source = synthetic_source(n);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}_loops")), &source, |b, src| {
-            b.iter(|| mojave_lang::compile_source(src).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_loops")),
+            &source,
+            |b, src| {
+                b.iter(|| mojave_lang::compile_source(src).unwrap());
+            },
+        );
     }
     group.finish();
 }
 
 fn verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("compiler/verify");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let externs = ExternEnv::standard();
     for n in SIZES {
         let program = mojave_lang::compile_source(&synthetic_source(n)).unwrap();
@@ -46,7 +54,9 @@ fn verification(c: &mut Criterion) {
 
 fn backend_elaboration(c: &mut Criterion) {
     let mut group = c.benchmark_group("compiler/backend");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in SIZES {
         let program = mojave_lang::compile_source(&synthetic_source(n)).unwrap();
         group.bench_with_input(
@@ -62,7 +72,9 @@ fn backend_elaboration(c: &mut Criterion) {
 
 fn image_serialisation(c: &mut Criterion) {
     let mut group = c.benchmark_group("compiler/fir_serialisation");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let program = mojave_lang::compile_source(&synthetic_source(32)).unwrap();
     group.bench_function("encode", |b| {
         b.iter(|| mojave_wire::to_bytes(&program));
@@ -74,5 +86,11 @@ fn image_serialisation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, frontend, verification, backend_elaboration, image_serialisation);
+criterion_group!(
+    benches,
+    frontend,
+    verification,
+    backend_elaboration,
+    image_serialisation
+);
 criterion_main!(benches);

@@ -23,7 +23,9 @@ fn base_config() -> GridConfig {
 /// work on failure.
 fn checkpoint_interval_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("grid/checkpoint_interval_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for interval in [2usize, 4, 6, 12] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("every_{interval}_steps")),
@@ -49,7 +51,9 @@ fn checkpoint_interval_sweep(c: &mut Criterion) {
 /// computation from scratch after the failure.
 fn recovery_vs_restart(c: &mut Criterion) {
     let mut group = c.benchmark_group("grid/recovery_vs_restart");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let config = base_config();
 
     group.bench_function("checkpoint_recovery", |b| {

@@ -10,7 +10,9 @@ use std::time::Duration;
 /// The §4.1.1 claim: validating a base pointer is a handful of operations.
 fn pointer_table_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("heap/pointer_table");
-    group.sample_size(30).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1));
 
     group.bench_function("lookup_valid", |b| {
         let mut table = PointerTable::new();
@@ -55,7 +57,9 @@ fn pointer_table_ops(c: &mut Criterion) {
 
 fn allocation_and_gc(c: &mut Criterion) {
     let mut group = c.benchmark_group("heap/gc");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("alloc_64_word_block", |b| {
         let mut heap = Heap::with_config(HeapConfig {

@@ -23,17 +23,24 @@ const HEAP_SIZES_KB: [usize; 4] = [64, 256, 1024, 4096];
 /// Pack + unpack (verify, recompile, rebuild heap) with the FIR protocol.
 fn fir_migration(c: &mut Criterion) {
     let mut group = c.benchmark_group("migration/fir_roundtrip");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for kb in HEAP_SIZES_KB {
         group.throughput(Throughput::Bytes((kb * 1024) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KiB")), &kb, |b, &kb| {
-            let (mut process, roots) = process_with_heap(kb * 1024, false);
-            b.iter(|| {
-                let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
-                let resumed = Process::from_image(image, ProcessConfig::default()).expect("unpack");
-                resumed.heap().live_bytes()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KiB")),
+            &kb,
+            |b, &kb| {
+                let (mut process, roots) = process_with_heap(kb * 1024, false);
+                b.iter(|| {
+                    let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
+                    let resumed =
+                        Process::from_image(image, ProcessConfig::default()).expect("unpack");
+                    resumed.heap().live_bytes()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -42,17 +49,24 @@ fn fir_migration(c: &mut Criterion) {
 /// recompilation at the destination).
 fn binary_migration(c: &mut Criterion) {
     let mut group = c.benchmark_group("migration/binary_roundtrip");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for kb in HEAP_SIZES_KB {
         group.throughput(Throughput::Bytes((kb * 1024) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KiB")), &kb, |b, &kb| {
-            let (mut process, roots) = process_with_heap(kb * 1024, true);
-            b.iter(|| {
-                let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
-                let resumed = Process::from_image(image, ProcessConfig::default()).expect("unpack");
-                resumed.heap().live_bytes()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KiB")),
+            &kb,
+            |b, &kb| {
+                let (mut process, roots) = process_with_heap(kb * 1024, true);
+                b.iter(|| {
+                    let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
+                    let resumed =
+                        Process::from_image(image, ProcessConfig::default()).expect("unpack");
+                    resumed.heap().live_bytes()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -61,7 +75,9 @@ fn binary_migration(c: &mut Criterion) {
 /// (the component the paper attributes ~90 % of FIR migration time to).
 fn recompilation_share(c: &mut Criterion) {
     let mut group = c.benchmark_group("migration/destination_recompile");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let (mut process, roots) = process_with_heap(1024 * 1024, false);
     let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
     let program = match &image.code {
@@ -106,5 +122,10 @@ fn recompilation_share(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, fir_migration, binary_migration, recompilation_share);
+criterion_group!(
+    benches,
+    fir_migration,
+    binary_migration,
+    recompilation_share
+);
 criterion_main!(benches);

@@ -21,7 +21,9 @@ const MUTATIONS: [usize; 5] = [0, 10, 25, 50, 100];
 
 fn spec_enter(c: &mut Criterion) {
     let mut group = c.benchmark_group("speculation/enter");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for percent in MUTATIONS {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{percent}pct")),
@@ -44,7 +46,9 @@ fn spec_enter(c: &mut Criterion) {
 
 fn spec_abort(c: &mut Criterion) {
     let mut group = c.benchmark_group("speculation/abort");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for percent in MUTATIONS {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{percent}pct")),
@@ -65,7 +69,9 @@ fn spec_abort(c: &mut Criterion) {
 
 fn spec_commit(c: &mut Criterion) {
     let mut group = c.benchmark_group("speculation/commit");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for percent in MUTATIONS {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{percent}pct")),
@@ -89,7 +95,9 @@ fn spec_commit(c: &mut Criterion) {
 /// switches.
 fn context_switch_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("speculation/context_switch_baseline");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("thread_handoff_roundtrip", |b| {
         use std::sync::mpsc;
         let (to_worker, from_main) = mpsc::channel::<u64>();

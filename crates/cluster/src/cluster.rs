@@ -1,11 +1,12 @@
 //! Cluster state: nodes, mailboxes, failure injection, migration daemons.
 
 use crate::network::NetworkModel;
-use mojave_core::{CheckpointStore, PackedProcess, Process, ProcessConfig, RunOutcome, RuntimeError};
-use parking_lot::{Condvar, Mutex};
+use mojave_core::{
+    CheckpointStore, PackedProcess, Process, ProcessConfig, RunOutcome, RuntimeError,
+};
 use std::collections::{HashMap, VecDeque};
 // (VecDeque is still used for the per-node migration-daemon inbound queues.)
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Cluster configuration.
@@ -151,7 +152,10 @@ impl Cluster {
 
     /// A node's status.
     pub fn status(&self, node: usize) -> NodeStatus {
-        self.inner.status.lock()[node]
+        self.inner
+            .status
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[node]
     }
 
     /// Whether a node is currently failed.
@@ -163,7 +167,10 @@ impl Cluster {
     /// failure at their next external call; peers observe it through
     /// `MSG_ROLL` receives.
     pub fn fail_node(&self, node: usize) {
-        self.inner.status.lock()[node] = NodeStatus::Failed;
+        self.inner
+            .status
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[node] = NodeStatus::Failed;
         // Wake any receiver blocked on a message from this node.
         self.inner.mail_cv.notify_all();
     }
@@ -171,7 +178,10 @@ impl Cluster {
     /// Mark a node alive again (a replacement machine, or the resurrection
     /// of the computation on a spare).
     pub fn revive_node(&self, node: usize) {
-        self.inner.status.lock()[node] = NodeStatus::Alive;
+        self.inner
+            .status
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[node] = NodeStatus::Alive;
         self.inner.mail_cv.notify_all();
     }
 
@@ -180,13 +190,21 @@ impl Cluster {
     /// the rolled-back computation is deterministic).
     pub fn send(&self, from: usize, to: usize, tag: i64, data: Vec<f64>) {
         {
-            let mut traffic = self.inner.traffic.lock();
+            let mut traffic = self
+                .inner
+                .traffic
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             traffic.messages += 1;
             let bytes = data.len() * 8 + 32;
             traffic.bytes += bytes as u64;
             traffic.simulated_us += self.inner.config.network.transfer_time_us(bytes);
         }
-        let mut mail = self.inner.mail.lock();
+        let mut mail = self
+            .inner
+            .mail
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         mail.insert((to, from, tag), data);
         self.inner.mail_cv.notify_all();
     }
@@ -196,7 +214,11 @@ impl Cluster {
     /// rolled-back or resurrected receiver can read it again.
     pub fn recv(&self, to: usize, from: usize, tag: i64) -> RecvOutcome {
         let deadline = Instant::now() + self.inner.config.recv_timeout;
-        let mut mail = self.inner.mail.lock();
+        let mut mail = self
+            .inner
+            .mail
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(data) = mail.get(&(to, from, tag)) {
                 return RecvOutcome::Data(data.clone());
@@ -208,9 +230,13 @@ impl Cluster {
             if now >= deadline {
                 return RecvOutcome::Timeout;
             }
-            self.inner
+            let wait = (deadline - now).min(Duration::from_millis(20));
+            mail = self
+                .inner
                 .mail_cv
-                .wait_until(&mut mail, deadline.min(now + Duration::from_millis(20)));
+                .wait_timeout(mail, wait)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
         }
     }
 
@@ -221,7 +247,11 @@ impl Cluster {
             return false;
         }
         {
-            let mut traffic = self.inner.traffic.lock();
+            let mut traffic = self
+                .inner
+                .traffic
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             traffic.bytes += packed.bytes.len() as u64;
             traffic.simulated_us += self
                 .inner
@@ -229,28 +259,48 @@ impl Cluster {
                 .network
                 .transfer_time_us(packed.bytes.len());
         }
-        self.inner.inbound.lock()[node].push_back(packed);
+        self.inner
+            .inbound
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[node]
+            .push_back(packed);
         true
     }
 
     /// Take the next inbound process for `node`, if any.
     pub fn pop_inbound(&self, node: usize) -> Option<PackedProcess> {
-        self.inner.inbound.lock()[node].pop_front()
+        self.inner
+            .inbound
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[node]
+            .pop_front()
     }
 
     /// Total bytes moved over the simulated network so far.
     pub fn bytes_transferred(&self) -> u64 {
-        self.inner.traffic.lock().bytes
+        self.inner
+            .traffic
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .bytes
     }
 
     /// Total simulated network time in microseconds.
     pub fn simulated_network_us(&self) -> f64 {
-        self.inner.traffic.lock().simulated_us
+        self.inner
+            .traffic
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .simulated_us
     }
 
     /// Number of point-to-point messages sent.
     pub fn messages_sent(&self) -> u64 {
-        self.inner.traffic.lock().messages
+        self.inner
+            .traffic
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .messages
     }
 }
 

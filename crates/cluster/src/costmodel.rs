@@ -73,7 +73,12 @@ impl MigrationEstimate {
 impl CostModel {
     /// Model a FIR migration: `image_bytes` shipped, `fir_nodes` recompiled
     /// at the destination, `heap_bytes` packed/unpacked.
-    pub fn fir_migration(&self, image_bytes: usize, fir_nodes: usize, heap_bytes: usize) -> MigrationEstimate {
+    pub fn fir_migration(
+        &self,
+        image_bytes: usize,
+        fir_nodes: usize,
+        heap_bytes: usize,
+    ) -> MigrationEstimate {
         MigrationEstimate {
             transfer_us: self.network.transfer_time_us(image_bytes),
             recompile_us: fir_nodes as f64 * self.recompile_us_per_node,
@@ -115,7 +120,11 @@ mod tests {
 
         // FIR migration lands in the seconds range and recompilation
         // dominates.
-        assert!(fir.total_us() > 2.0e6 && fir.total_us() < 8.0e6, "total {}", fir.total_us());
+        assert!(
+            fir.total_us() > 2.0e6 && fir.total_us() < 8.0e6,
+            "total {}",
+            fir.total_us()
+        );
         assert!(fir.recompile_us > 0.6 * fir.total_us());
         assert!(fir.transfer_fraction() < 0.2);
 

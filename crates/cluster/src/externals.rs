@@ -144,11 +144,23 @@ mod tests {
         let mut ext = ClusterExternals::new(cluster, 1);
         let mut heap = Heap::new();
         let id = ext
-            .call(ExtCall { name: "node_id", args: &[] }, &mut heap)
+            .call(
+                ExtCall {
+                    name: "node_id",
+                    args: &[],
+                },
+                &mut heap,
+            )
             .unwrap();
         assert_eq!(id, Word::Int(1));
         let n = ext
-            .call(ExtCall { name: "num_nodes", args: &[] }, &mut heap)
+            .call(
+                ExtCall {
+                    name: "num_nodes",
+                    args: &[],
+                },
+                &mut heap,
+            )
             .unwrap();
         assert_eq!(n, Word::Int(2));
     }
@@ -211,7 +223,13 @@ mod tests {
         // Now the receiver's own node fails: its next call errors out.
         cluster.fail_node(1);
         assert!(receiver
-            .call(ExtCall { name: "clock_us", args: &[] }, &mut heap)
+            .call(
+                ExtCall {
+                    name: "clock_us",
+                    args: &[]
+                },
+                &mut heap
+            )
             .is_err());
     }
 
@@ -248,7 +266,13 @@ mod tests {
         .unwrap();
         assert_eq!(ext.output(), &["9".to_owned()]);
         assert!(matches!(
-            ext.call(ExtCall { name: "bogus", args: &[] }, &mut heap),
+            ext.call(
+                ExtCall {
+                    name: "bogus",
+                    args: &[]
+                },
+                &mut heap
+            ),
             Err(RuntimeError::UnknownExtern(_))
         ));
     }

@@ -149,11 +149,7 @@ mod tests {
         let image_sink = InMemorySink::new();
         let _ = image_sink;
         assert!(matches!(
-            sink.deliver(
-                MigrateProtocol::Migrate,
-                "node9",
-                &dummy_image()
-            ),
+            sink.deliver(MigrateProtocol::Migrate, "node9", &dummy_image()),
             DeliveryOutcome::Failed(_)
         ));
         assert!(matches!(

@@ -479,9 +479,8 @@ impl WireCodec for Instr {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let reg = |r: &mut WireReader<'_>| -> Result<Reg, WireError> {
-            Ok(r.read_uvarint()? as Reg)
-        };
+        let reg =
+            |r: &mut WireReader<'_>| -> Result<Reg, WireError> { Ok(r.read_uvarint()? as Reg) };
         Ok(match r.read_u8()? {
             0 => Instr::Const {
                 dst: reg(r)?,

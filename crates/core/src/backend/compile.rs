@@ -134,7 +134,9 @@ impl<'a> FunCompiler<'a> {
 
     fn compile_expr(&mut self, expr: &Expr) -> Result<(), CompileError> {
         match expr {
-            Expr::LetAtom { dst, atom, body, .. } => {
+            Expr::LetAtom {
+                dst, atom, body, ..
+            } => {
                 let src = self.atom(atom)?;
                 let dst_reg = self.bind(*dst);
                 self.code.push(Instr::Move { dst: dst_reg, src });
@@ -169,7 +171,11 @@ impl<'a> FunCompiler<'a> {
                 self.compile_expr(body)
             }
             Expr::LetAlloc {
-                dst, len, init, body, ..
+                dst,
+                len,
+                init,
+                body,
+                ..
             } => {
                 let len_reg = self.atom(len)?;
                 let init_reg = self.atom(init)?;
@@ -216,7 +222,11 @@ impl<'a> FunCompiler<'a> {
                 self.compile_expr(body)
             }
             Expr::LetLoad {
-                dst, ptr, index, body, ..
+                dst,
+                ptr,
+                index,
+                body,
+                ..
             } => {
                 let ptr_reg = self.atom(ptr)?;
                 let idx_reg = self.atom(index)?;
@@ -290,7 +300,11 @@ impl<'a> FunCompiler<'a> {
                 self.compile_expr(body)
             }
             Expr::LetExt {
-                dst, name, args, body, ..
+                dst,
+                name,
+                args,
+                body,
+                ..
             } => {
                 let arg_regs = self.atoms(args)?;
                 let dst_reg = self.bind(*dst);
@@ -471,10 +485,7 @@ mod tests {
                 value: Atom::Int(0),
             },
         });
-        assert_eq!(
-            compile_program(&program),
-            Err(CompileError::BadEntry(7))
-        );
+        assert_eq!(compile_program(&program), Err(CompileError::BadEntry(7)));
     }
 
     #[test]
@@ -490,9 +501,7 @@ mod tests {
         pb.set_entry(main);
         let bc = compile_program(&pb.finish()).unwrap();
         let main_code = &bc.funs[1].code;
-        assert!(main_code
-            .iter()
-            .any(|i| matches!(i, Instr::Closure { .. })));
+        assert!(main_code.iter().any(|i| matches!(i, Instr::Closure { .. })));
         assert!(main_code
             .iter()
             .any(|i| matches!(i, Instr::TailCall { .. })));

@@ -93,7 +93,10 @@ impl fmt::Display for RuntimeError {
                 callee,
                 expected,
                 found,
-            } => write!(f, "calling {callee}: expected {expected} args, found {found}"),
+            } => write!(
+                f,
+                "calling {callee}: expected {expected} args, found {found}"
+            ),
             RuntimeError::KindMismatch {
                 expected,
                 found,

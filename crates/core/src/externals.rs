@@ -334,6 +334,12 @@ impl Externals for DefaultExternals {
     }
 }
 
+impl Default for ObjectStore {
+    fn default() -> Self {
+        ObjectStore::new(0x0B1EC7)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,9 +352,11 @@ mod tests {
     fn print_and_output_capture() {
         let mut ext = DefaultExternals::default();
         let mut heap = Heap::new();
-        ext.call(call("print_int", &[Word::Int(7)]), &mut heap).unwrap();
+        ext.call(call("print_int", &[Word::Int(7)]), &mut heap)
+            .unwrap();
         let s = heap.alloc_str("hello").unwrap();
-        ext.call(call("print_str", &[Word::Ptr(s)]), &mut heap).unwrap();
+        ext.call(call("print_str", &[Word::Ptr(s)]), &mut heap)
+            .unwrap();
         assert_eq!(ext.output(), &["7".to_owned(), "hello".to_owned()]);
     }
 
@@ -405,12 +413,16 @@ mod tests {
         store.set_fail_percent(100);
         let h = store.create(&mut heap, 8).unwrap();
         let buf = heap.alloc_raw(8).unwrap();
-        heap.store_raw(buf, 0, 8, i64::from_le_bytes(*b"AAAAAAAA")).unwrap();
+        heap.store_raw(buf, 0, 8, i64::from_le_bytes(*b"AAAAAAAA"))
+            .unwrap();
         // With 100% failure every write is partial (4 of 8 bytes).
         let wrote = store.write(&mut heap, h, buf, 8).unwrap();
         assert_eq!(wrote, 4);
         let obj = store.object_block(h).unwrap();
-        assert_eq!(heap.load_raw(obj, 0, 4).unwrap(), i64::from_le_bytes(*b"AAAA\0\0\0\0") & 0xFFFF_FFFF);
+        assert_eq!(
+            heap.load_raw(obj, 0, 4).unwrap(),
+            i64::from_le_bytes(*b"AAAA\0\0\0\0") & 0xFFFF_FFFF
+        );
         assert_eq!(heap.load_raw(obj, 4, 4).unwrap(), 0);
         // Reads fail outright.
         let out = heap.alloc_raw(8).unwrap();
@@ -422,8 +434,10 @@ mod tests {
     fn object_store_roots_are_reported() {
         let mut ext = DefaultExternals::default();
         let mut heap = Heap::new();
-        ext.call(call("obj_create", &[Word::Int(4)]), &mut heap).unwrap();
-        ext.call(call("obj_create", &[Word::Int(4)]), &mut heap).unwrap();
+        ext.call(call("obj_create", &[Word::Int(4)]), &mut heap)
+            .unwrap();
+        ext.call(call("obj_create", &[Word::Int(4)]), &mut heap)
+            .unwrap();
         assert_eq!(ext.roots().len(), 2);
         assert!(ext.roots().iter().all(|w| w.is_ptr()));
     }
@@ -471,14 +485,11 @@ mod tests {
             Err(RuntimeError::ExternError { .. })
         ));
         assert!(matches!(
-            ext.call(call("obj_read", &[Word::Int(0), Word::Int(1), Word::Int(2)]), &mut heap),
+            ext.call(
+                call("obj_read", &[Word::Int(0), Word::Int(1), Word::Int(2)]),
+                &mut heap
+            ),
             Err(RuntimeError::ExternError { .. })
         ));
-    }
-}
-
-impl Default for ObjectStore {
-    fn default() -> Self {
-        ObjectStore::new(0x0B1EC7)
     }
 }

@@ -417,7 +417,10 @@ mod tests {
             DeliveryOutcome::Failed(_)
         ));
         let store = sink.store();
-        assert_eq!(store.names(), vec!["final".to_owned(), "steps/ck-10".to_owned()]);
+        assert_eq!(
+            store.names(),
+            vec!["final".to_owned(), "steps/ck-10".to_owned()]
+        );
         let loaded = store.load("final").unwrap();
         assert_eq!(loaded, image);
         assert!(store.load("missing").is_err());

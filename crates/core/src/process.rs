@@ -5,13 +5,10 @@ use crate::backend::{compile_program, BackendKind, BytecodeProgram, Const, Instr
 use crate::error::RuntimeError;
 use crate::externals::{DefaultExternals, ExtCall, Externals};
 use crate::machine::Machine;
-use crate::migrate::{
-    DeliveryOutcome, InMemorySink, MigrationImage, MigrationSink, PackedCode,
-};
+use crate::migrate::{DeliveryOutcome, InMemorySink, MigrationImage, MigrationSink, PackedCode};
 use crate::speculate::SpeculationManager;
 use mojave_fir::{
-    typecheck, validate, Atom, Binop, Expr, ExternEnv, FunId, MigrateProtocol, Program, Unop,
-    VarId,
+    typecheck, validate, Atom, Binop, Expr, ExternEnv, FunId, MigrateProtocol, Program, Unop, VarId,
 };
 use mojave_heap::{BlockKind, Heap, HeapConfig, Word};
 use mojave_wire::WireWriter;
@@ -203,7 +200,10 @@ impl Process {
                 (Some(program.clone()), bytecode)
             }
             PackedCode::Binary { arch, bytecode } => {
-                if !config.machine.binary_compatible(&Machine::new(arch.clone())) {
+                if !config
+                    .machine
+                    .binary_compatible(&Machine::new(arch.clone()))
+                {
                     return Err(RuntimeError::MigrationRejected(format!(
                         "binary image for `{arch}` cannot run on `{}`",
                         config.machine
@@ -352,13 +352,13 @@ impl Process {
                 Transfer::Rollback { level, code } => {
                     let lvl = self.valid_level(level)?;
                     self.heap.spec_rollback(lvl)?;
-                    let entry = self
-                        .spec
-                        .rollback(lvl)
-                        .ok_or(RuntimeError::BadSpeculationLevel {
-                            level,
-                            open: self.spec.depth(),
-                        })?;
+                    let entry =
+                        self.spec
+                            .rollback(lvl)
+                            .ok_or(RuntimeError::BadSpeculationLevel {
+                                level,
+                                open: self.spec.depth(),
+                            })?;
                     self.stats.rollbacks += 1;
                     // Retry semantics: the level is immediately re-entered and
                     // the saved continuation called with the new code.
@@ -470,9 +470,10 @@ impl Process {
             let bytecode = match &self.bytecode {
                 Some(bc) => bc.clone(),
                 None => {
-                    let program = self.program.as_ref().ok_or_else(|| {
-                        RuntimeError::MigrationRejected("no code to pack".into())
-                    })?;
+                    let program = self
+                        .program
+                        .as_ref()
+                        .ok_or_else(|| RuntimeError::MigrationRejected("no code to pack".into()))?;
                     compile_program(program)
                         .map_err(|e| RuntimeError::MigrationRejected(e.to_string()))?
                 }
@@ -525,7 +526,11 @@ impl Process {
 
     /// Resolve a callee word into a function index plus the full argument
     /// list (closures prepend themselves as the environment argument).
-    fn resolve_callee(&self, target: Word, mut args: Vec<Word>) -> Result<(u32, Vec<Word>), RuntimeError> {
+    fn resolve_callee(
+        &self,
+        target: Word,
+        mut args: Vec<Word>,
+    ) -> Result<(u32, Vec<Word>), RuntimeError> {
         match target {
             Word::Fun(id) => Ok((id, args)),
             Word::Ptr(p) => {
@@ -716,7 +721,11 @@ impl Process {
         self.interp_expr(body, env)
     }
 
-    fn atom_value(&mut self, env: &HashMap<VarId, Word>, atom: &Atom) -> Result<Word, RuntimeError> {
+    fn atom_value(
+        &mut self,
+        env: &HashMap<VarId, Word>,
+        atom: &Atom,
+    ) -> Result<Word, RuntimeError> {
         Ok(match atom {
             Atom::Unit => Word::Unit,
             Atom::Int(v) => Word::Int(*v),
@@ -724,9 +733,7 @@ impl Process {
             Atom::Bool(v) => Word::Bool(*v),
             Atom::Char(c) => Word::Char(*c),
             Atom::Str(s) => Word::Ptr(self.heap.alloc_str(s)?),
-            Atom::Var(v) => *env
-                .get(v)
-                .ok_or(RuntimeError::UnboundVar(v.0))?,
+            Atom::Var(v) => *env.get(v).ok_or(RuntimeError::UnboundVar(v.0))?,
             Atom::Fun(f) => Word::Fun(f.0),
         })
     }
@@ -747,7 +754,9 @@ impl Process {
         loop {
             self.bump_step()?;
             expr = match expr {
-                Expr::LetAtom { dst, atom, body, .. } => {
+                Expr::LetAtom {
+                    dst, atom, body, ..
+                } => {
                     let w = self.atom_value(&env, &atom)?;
                     env.insert(dst, w);
                     *body
@@ -770,7 +779,11 @@ impl Process {
                     *body
                 }
                 Expr::LetAlloc {
-                    dst, len, init, body, ..
+                    dst,
+                    len,
+                    init,
+                    body,
+                    ..
                 } => {
                     let len = Self::word_as_int(self.atom_value(&env, &len)?, "alloc length")?;
                     let init = self.atom_value(&env, &init)?;
@@ -807,7 +820,11 @@ impl Process {
                     *body
                 }
                 Expr::LetLoad {
-                    dst, ptr, index, body, ..
+                    dst,
+                    ptr,
+                    index,
+                    body,
+                    ..
                 } => {
                     let p = Self::word_as_ptr(self.atom_value(&env, &ptr)?, "load pointer")?;
                     let i = Self::word_as_int(self.atom_value(&env, &index)?, "load index")?;
@@ -857,7 +874,11 @@ impl Process {
                     *body
                 }
                 Expr::LetExt {
-                    dst, name, args, body, ..
+                    dst,
+                    name,
+                    args,
+                    body,
+                    ..
                 } => {
                     let words = self.atom_values(&env, &args)?;
                     let result = self.call_extern(&name, &words)?;
@@ -1070,9 +1091,10 @@ impl Process {
                     })
                 }
                 Instr::Halt { value } => {
-                    return Ok(Transfer::Halt(
-                        Self::word_as_int(reg(&regs, *value), "halt value")?,
-                    ))
+                    return Ok(Transfer::Halt(Self::word_as_int(
+                        reg(&regs, *value),
+                        "halt value",
+                    )?))
                 }
                 Instr::Migrate {
                     label,

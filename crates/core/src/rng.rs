@@ -48,6 +48,14 @@ impl SplitMix64 {
     }
 }
 
+impl Default for SplitMix64 {
+    /// A fixed default seed; use [`SplitMix64::new`] for experiment-specific
+    /// seeds.
+    fn default() -> Self {
+        SplitMix64::new(0x5EED_0F42)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,13 +98,5 @@ mod tests {
         // Rough sanity check of the distribution.
         let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
         assert!((1_800..3_200).contains(&hits), "hits={hits}");
-    }
-}
-
-impl Default for SplitMix64 {
-    /// A fixed default seed; use [`SplitMix64::new`] for experiment-specific
-    /// seeds.
-    fn default() -> Self {
-        SplitMix64::new(0x5EED_0F42)
     }
 }

@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn roots_cover_saved_continuations() {
         let mut mgr = SpeculationManager::new();
-        mgr.enter(Word::Fun(3), vec![Word::Int(9), Word::Ptr(mojave_heap::PtrIdx(4))]);
+        mgr.enter(
+            Word::Fun(3),
+            vec![Word::Int(9), Word::Ptr(mojave_heap::PtrIdx(4))],
+        );
         let roots = mgr.roots();
         assert!(roots.contains(&Word::Fun(3)));
         assert!(roots.contains(&Word::Ptr(mojave_heap::PtrIdx(4))));

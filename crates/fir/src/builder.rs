@@ -184,7 +184,8 @@ impl<'a> FunBuilder<'a> {
         rhs: impl Into<Atom>,
     ) -> VarId {
         let dst = self.fresh(name);
-        self.stmts.push(Stmt::Binop(dst, op, lhs.into(), rhs.into()));
+        self.stmts
+            .push(Stmt::Binop(dst, op, lhs.into(), rhs.into()));
         dst
     }
 
@@ -238,7 +239,8 @@ impl<'a> FunBuilder<'a> {
         index: impl Into<Atom>,
     ) -> VarId {
         let dst = self.fresh(name);
-        self.stmts.push(Stmt::Load(dst, ty, ptr.into(), index.into()));
+        self.stmts
+            .push(Stmt::Load(dst, ty, ptr.into(), index.into()));
         dst
     }
 
@@ -270,8 +272,12 @@ impl<'a> FunBuilder<'a> {
         offset: impl Into<Atom>,
         value: impl Into<Atom>,
     ) {
-        self.stmts
-            .push(Stmt::StoreRaw(width, ptr.into(), offset.into(), value.into()));
+        self.stmts.push(Stmt::StoreRaw(
+            width,
+            ptr.into(),
+            offset.into(),
+            value.into(),
+        ));
     }
 
     /// Length of a block.

@@ -11,7 +11,11 @@ use std::fmt::Write;
 pub fn program_to_string(program: &Program) -> String {
     let mut out = String::new();
     for fun in &program.funs {
-        let marker = if fun.id == program.entry { " (entry)" } else { "" };
+        let marker = if fun.id == program.entry {
+            " (entry)"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "fun {} {}{}:", fun.id, fun.name, marker);
         let _ = write_params(&mut out, fun);
         write_expr(&mut out, &fun.body, 1);
@@ -47,7 +51,12 @@ fn atoms(list: &[crate::atom::Atom]) -> String {
 fn write_expr(out: &mut String, expr: &Expr, depth: usize) {
     indent(out, depth);
     match expr {
-        Expr::LetAtom { dst, ty, atom, body } => {
+        Expr::LetAtom {
+            dst,
+            ty,
+            atom,
+            body,
+        } => {
             let _ = writeln!(out, "let {dst}: {ty} = {atom}");
             write_expr(out, body, depth);
         }
@@ -95,7 +104,11 @@ fn write_expr(out: &mut String, expr: &Expr, depth: usize) {
                 .map(|t| t.to_string())
                 .collect::<Vec<_>>()
                 .join(", ");
-            let _ = writeln!(out, "let {dst} = closure {fun} [{}] : clo({tys})", atoms(captured));
+            let _ = writeln!(
+                out,
+                "let {dst} = closure {fun} [{}] : clo({tys})",
+                atoms(captured)
+            );
             write_expr(out, body, depth);
         }
         Expr::LetLoad {

@@ -79,7 +79,10 @@ impl fmt::Display for TypeError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             TypeErrorKind::ArityMismatch {
                 callee,
                 expected,
@@ -204,7 +207,12 @@ impl<'a> Checker<'a> {
 
     fn check_expr(&mut self, expr: &Expr) -> Result<(), TypeError> {
         match expr {
-            Expr::LetAtom { dst, ty, atom, body } => {
+            Expr::LetAtom {
+                dst,
+                ty,
+                atom,
+                body,
+            } => {
                 self.expect(atom, ty, "let binding")?;
                 self.bind(*dst, ty.clone())?;
                 self.check_expr(body)?;
@@ -483,7 +491,11 @@ impl<'a> Checker<'a> {
         };
         // `Any` operands defer to runtime checks.
         if matches!(lhs, Ty::Any) || matches!(rhs, Ty::Any) {
-            return Ok(if op.is_comparison() { Ty::Bool } else { Ty::Any });
+            return Ok(if op.is_comparison() {
+                Ty::Bool
+            } else {
+                Ty::Any
+            });
         }
         if op.is_comparison() {
             if lhs != rhs {

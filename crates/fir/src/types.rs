@@ -127,7 +127,10 @@ mod tests {
     #[test]
     fn display_is_stable() {
         assert_eq!(Ty::ptr(Ty::Int).to_string(), "ptr<int>");
-        assert_eq!(Ty::Fun(vec![Ty::Int, Ty::Bool]).to_string(), "fun(int, bool)");
+        assert_eq!(
+            Ty::Fun(vec![Ty::Int, Ty::Bool]).to_string(),
+            "fun(int, bool)"
+        );
         assert_eq!(Ty::Closure(vec![]).to_string(), "clo()");
     }
 

@@ -62,10 +62,9 @@ impl fmt::Display for ValidateError {
             ValidateError::DuplicateParam { fun } => {
                 write!(f, "function `{fun}` declares a parameter variable twice")
             }
-            ValidateError::MisnumberedFunction { index, declared } => write!(
-                f,
-                "function at table index {index} declares id f{declared}"
-            ),
+            ValidateError::MisnumberedFunction { index, declared } => {
+                write!(f, "function at table index {index} declares id f{declared}")
+            }
         }
     }
 }

@@ -152,7 +152,10 @@ impl WireCodec for Atom {
 
 impl WireCodec for Unop {
     fn encode(&self, w: &mut WireWriter) {
-        let idx = Unop::ALL.iter().position(|u| u == self).expect("known unop");
+        let idx = Unop::ALL
+            .iter()
+            .position(|u| u == self)
+            .expect("known unop");
         w.write_u8(idx as u8);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -184,7 +187,12 @@ impl WireCodec for Binop {
 impl WireCodec for Expr {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            Expr::LetAtom { dst, ty, atom, body } => {
+            Expr::LetAtom {
+                dst,
+                ty,
+                atom,
+                body,
+            } => {
                 w.write_u8(0);
                 dst.encode(w);
                 ty.encode(w);

@@ -206,7 +206,10 @@ fn resurrect(
 
 /// Run the grid computation on a simulated cluster, optionally injecting a
 /// node failure, and verify against the sequential reference.
-pub fn run_grid(config: &GridConfig, failure: Option<FailurePlan>) -> Result<GridReport, GridError> {
+pub fn run_grid(
+    config: &GridConfig,
+    failure: Option<FailurePlan>,
+) -> Result<GridReport, GridError> {
     let source = worker_source(config);
     let program = mojave_lang::compile_source(&source).map_err(GridError::Compile)?;
 

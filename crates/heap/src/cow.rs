@@ -65,10 +65,11 @@ impl SpecLevelRecord {
     pub(crate) fn absorb(&mut self, child: SpecLevelRecord) -> Vec<usize> {
         let mut discard = Vec::new();
         for (ptr, slot) in child.saved {
-            if self.saved.contains_key(&ptr) {
-                discard.push(slot);
-            } else {
-                self.saved.insert(ptr, slot);
+            match self.saved.entry(ptr) {
+                std::collections::hash_map::Entry::Occupied(_) => discard.push(slot),
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(slot);
+                }
             }
         }
         for ptr in child.allocated {

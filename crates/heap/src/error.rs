@@ -61,18 +61,27 @@ impl fmt::Display for HeapError {
         match self {
             HeapError::InvalidPointer(p) => write!(f, "invalid pointer {p}"),
             HeapError::OutOfBounds { ptr, index, len } => {
-                write!(f, "index {index} out of bounds for block {ptr} of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for block {ptr} of length {len}"
+                )
             }
             HeapError::KindMismatch { ptr, kind, access } => {
                 write!(f, "{access} access on block {ptr} of kind {kind:?}")
             }
             HeapError::BadWidth(w) => write!(f, "unsupported raw access width {w}"),
             HeapError::AllocTooLarge { requested, limit } => {
-                write!(f, "allocation of {requested} elements exceeds limit {limit}")
+                write!(
+                    f,
+                    "allocation of {requested} elements exceeds limit {limit}"
+                )
             }
             HeapError::NegativeSize(n) => write!(f, "negative allocation size {n}"),
             HeapError::NoSuchSpeculation { level, open } => {
-                write!(f, "speculation level {level} is not open ({open} levels open)")
+                write!(
+                    f,
+                    "speculation level {level} is not open ({open} levels open)"
+                )
             }
             HeapError::ImmutableBlock(p) => write!(f, "attempt to mutate immutable block {p}"),
         }

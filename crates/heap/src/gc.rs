@@ -82,9 +82,9 @@ impl Heap {
         let mut worklist: Vec<usize> = Vec::new();
 
         let push_ptr = |table: &crate::pointer_table::PointerTable,
-                            marked: &mut HashSet<usize>,
-                            worklist: &mut Vec<usize>,
-                            ptr: PtrIdx| {
+                        marked: &mut HashSet<usize>,
+                        worklist: &mut Vec<usize>,
+                        ptr: PtrIdx| {
             if let Some(slot) = table.lookup(ptr) {
                 if marked.insert(slot) {
                     worklist.push(slot);
@@ -282,12 +282,7 @@ impl Heap {
 
     /// Recompute byte accounting after a collection.
     fn reset_after_gc(&mut self) {
-        let live: usize = self
-            .blocks
-            .iter()
-            .flatten()
-            .map(|b| b.byte_size())
-            .sum();
+        let live: usize = self.blocks.iter().flatten().map(|b| b.byte_size()).sum();
         self.live_bytes = live;
         self.young_bytes = self
             .blocks
@@ -371,10 +366,7 @@ mod tests {
         heap.gc_minor(&[Word::Ptr(keep)]);
         assert_eq!(heap.live_blocks(), 1);
         assert_eq!(heap.stats().minor_collections, 1);
-        assert_eq!(
-            heap.block(keep).unwrap().header.generation,
-            Generation::Old
-        );
+        assert_eq!(heap.block(keep).unwrap().header.generation, Generation::Old);
         assert_eq!(heap.young_bytes(), 0);
     }
 

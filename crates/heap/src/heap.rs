@@ -357,12 +357,7 @@ impl Heap {
 
     /// Copy `len` bytes between raw blocks (used by the object-store
     /// externals of the Transfer example).
-    pub fn copy_raw(
-        &mut self,
-        src: PtrIdx,
-        dst: PtrIdx,
-        len: usize,
-    ) -> Result<(), HeapError> {
+    pub fn copy_raw(&mut self, src: PtrIdx, dst: PtrIdx, len: usize) -> Result<(), HeapError> {
         let data: Vec<u8> = {
             let block = self.block(src)?;
             let bytes = block.as_bytes().ok_or(HeapError::KindMismatch {
@@ -553,11 +548,7 @@ impl Heap {
     pub fn snapshot(&self) -> HashMap<u32, BlockData> {
         self.table
             .iter_used()
-            .filter_map(|(idx, slot)| {
-                self.blocks[slot]
-                    .as_ref()
-                    .map(|b| (idx.0, b.data.clone()))
-            })
+            .filter_map(|(idx, slot)| self.blocks[slot].as_ref().map(|b| (idx.0, b.data.clone())))
             .collect()
     }
 
@@ -718,7 +709,10 @@ mod tests {
         assert_eq!(heap.load_raw(buf, 0, 4).unwrap(), 0x0506_0708);
         assert_eq!(heap.load_raw(buf, 0, 8).unwrap(), 0x0102_0304_0506_0708);
         // Width and bounds checks.
-        assert!(matches!(heap.load_raw(buf, 0, 3), Err(HeapError::BadWidth(3))));
+        assert!(matches!(
+            heap.load_raw(buf, 0, 3),
+            Err(HeapError::BadWidth(3))
+        ));
         assert!(matches!(
             heap.load_raw(buf, 12, 8),
             Err(HeapError::OutOfBounds { .. })
@@ -765,7 +759,9 @@ mod tests {
     fn speculation_rollback_restores_exact_state() {
         let mut heap = Heap::new();
         let arr = heap.alloc_array(8, Word::Int(1)).unwrap();
-        let tup = heap.alloc_tuple(vec![Word::Int(10), Word::Ptr(arr)]).unwrap();
+        let tup = heap
+            .alloc_tuple(vec![Word::Int(10), Word::Ptr(arr)])
+            .unwrap();
         let before = heap.snapshot();
 
         let level = heap.spec_enter();

@@ -14,9 +14,10 @@ use std::fmt;
 /// (paper §4.2.2: "since no real pointers exist in the data, system
 /// migration does not need to construct an explicit map between pointers
 /// across different machines").
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum Word {
     /// The unit value.
+    #[default]
     Unit,
     /// 64-bit signed integer.
     Int(i64),
@@ -105,12 +106,6 @@ impl fmt::Display for Word {
             Word::Ptr(p) => write!(f, "ptr#{}", p.0),
             Word::Fun(i) => write!(f, "fun#{i}"),
         }
-    }
-}
-
-impl Default for Word {
-    fn default() -> Self {
-        Word::Unit
     }
 }
 

@@ -15,7 +15,11 @@ enum Action {
 
 fn action_strategy(arrays: usize) -> impl Strategy<Value = Action> {
     prop_oneof![
-        (0..arrays, 0i64..8, any::<i64>()).prop_map(|(arr, idx, val)| Action::Store { arr, idx, val }),
+        (0..arrays, 0i64..8, any::<i64>()).prop_map(|(arr, idx, val)| Action::Store {
+            arr,
+            idx,
+            val
+        }),
         (1i64..32).prop_map(|len| Action::Alloc { len }),
         (0..arrays, 0..arrays).prop_map(|(from, to)| Action::Link { from, to }),
     ]
@@ -38,7 +42,8 @@ fn apply(heap: &mut Heap, arrays: &[PtrIdx], action: &Action) {
             let _ = heap.alloc_array(*len, Word::Int(0)).unwrap();
         }
         Action::Link { from, to } => {
-            heap.store(arrays[*from], 7, Word::Ptr(arrays[*to])).unwrap();
+            heap.store(arrays[*from], 7, Word::Ptr(arrays[*to]))
+                .unwrap();
         }
     }
 }

@@ -55,7 +55,10 @@ impl CompileError {
     pub fn internal(message: impl Into<String>) -> Self {
         CompileError {
             pos: None,
-            message: format!("internal: generated FIR failed verification: {}", message.into()),
+            message: format!(
+                "internal: generated FIR failed verification: {}",
+                message.into()
+            ),
         }
     }
 }

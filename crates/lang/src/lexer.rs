@@ -286,7 +286,10 @@ mod tests {
 
     #[test]
     fn numbers_and_floats() {
-        assert_eq!(toks("42 3.5 0"), vec![Tok::Int(42), Tok::Float(3.5), Tok::Int(0)]);
+        assert_eq!(
+            toks("42 3.5 0"),
+            vec![Tok::Int(42), Tok::Float(3.5), Tok::Int(0)]
+        );
     }
 
     #[test]

@@ -187,8 +187,7 @@ impl Lowerer {
                     format!("function `{}` is defined more than once", f.name),
                 ));
             }
-            if lowerer.externs.contains_key(f.name.as_str())
-                || BUILTINS.contains(&f.name.as_str())
+            if lowerer.externs.contains_key(f.name.as_str()) || BUILTINS.contains(&f.name.as_str())
             {
                 return Err(CompileError::at(
                     f.pos,
@@ -206,7 +205,8 @@ impl Lowerer {
                 fir_params.push(("", fir_ty(t)));
                 let last = fir_params.len() - 1;
                 // Placeholder name fixed below (builder needs &str).
-                fir_params[last].0 = Box::leak(owned_names.last().unwrap().clone().into_boxed_str());
+                fir_params[last].0 =
+                    Box::leak(owned_names.last().unwrap().clone().into_boxed_str());
             }
             fir_params.push(("retk", retk_ty()));
             let (id, _) = lowerer.pb.declare(&f.name, &fir_params);
@@ -476,9 +476,7 @@ impl Lowerer {
         scopes: &[HashMap<String, String>],
     ) -> Result<CExpr, CompileError> {
         Ok(match e {
-            CExpr::Var(name) => {
-                CExpr::Var(Self::resolve_name(scopes, name, SourcePos::default())?)
-            }
+            CExpr::Var(name) => CExpr::Var(Self::resolve_name(scopes, name, SourcePos::default())?),
             CExpr::Binary { op, lhs, rhs, pos } => CExpr::Binary {
                 op: *op,
                 lhs: Box::new(self.rename_expr(lhs, scopes)?),
@@ -905,7 +903,9 @@ impl Lowerer {
                     }
                 }
             }
-            CExpr::Call { name, args, pos } => self.lower_simple_call(st, name, args, *pos, frame, pre)?,
+            CExpr::Call { name, args, pos } => {
+                self.lower_simple_call(st, name, args, *pos, frame, pre)?
+            }
         })
     }
 
@@ -924,7 +924,10 @@ impl Lowerer {
             if args.len() != expected {
                 Err(CompileError::at(
                     pos,
-                    format!("`{name}` expects {expected} argument(s), found {}", args.len()),
+                    format!(
+                        "`{name}` expects {expected} argument(s), found {}",
+                        args.len()
+                    ),
                 ))
             } else {
                 Ok(())
@@ -1004,9 +1007,7 @@ impl Lowerer {
                 } else if self.user.contains_key(name) || name == "speculate" {
                     Err(CompileError::at(
                         pos,
-                        format!(
-                            "internal: call to `{name}` was not hoisted out of an expression"
-                        ),
+                        format!("internal: call to `{name}` was not hoisted out of an expression"),
                     ))
                 } else {
                     Err(CompileError::at(pos, format!("unknown function `{name}`")))
@@ -1019,7 +1020,12 @@ impl Lowerer {
     // Statement lowering
     // ------------------------------------------------------------------
 
-    fn slot_of(&self, st: &FnState, name: &str, pos: SourcePos) -> Result<(usize, CType), CompileError> {
+    fn slot_of(
+        &self,
+        st: &FnState,
+        name: &str,
+        pos: SourcePos,
+    ) -> Result<(usize, CType), CompileError> {
         st.slots
             .get(name)
             .cloned()
@@ -1188,7 +1194,11 @@ impl Lowerer {
                         next,
                         pos,
                     ),
-                    Some(CExpr::Call { name: callee, args, pos }) if callee == "speculate" => {
+                    Some(CExpr::Call {
+                        name: callee,
+                        args,
+                        pos,
+                    }) if callee == "speculate" => {
                         if !args.is_empty() {
                             return Err(CompileError::at(pos, "`speculate` takes no arguments"));
                         }
@@ -1197,11 +1207,7 @@ impl Lowerer {
                     Some(value) => {
                         let mut pre = Vec::new();
                         let (atom, _vty) = self.lower_value(st, &value, frame, &mut pre)?;
-                        pre.push(Pre::Store(
-                            Atom::Var(frame),
-                            Atom::Int(slot as i64),
-                            atom,
-                        ));
+                        pre.push(Pre::Store(Atom::Var(frame), Atom::Int(slot as i64), atom));
                         let rest_expr = self.lower_stmts(st, rest, frame, retk, next)?;
                         Ok(Self::wrap_pre(pre, rest_expr))
                     }

@@ -341,11 +341,7 @@ impl<'a> Parser<'a> {
         self.or_expr()
     }
 
-    fn binary_level<F>(
-        &mut self,
-        next: F,
-        table: &[(Tok, BinOp)],
-    ) -> Result<Expr, CompileError>
+    fn binary_level<F>(&mut self, next: F, table: &[(Tok, BinOp)]) -> Result<Expr, CompileError>
     where
         F: Fn(&mut Self) -> Result<Expr, CompileError>,
     {

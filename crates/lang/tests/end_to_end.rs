@@ -171,7 +171,7 @@ fn figure1_transfer_commits_without_failures() {
         }
     "#;
     // ok=1, a now holds 22, b now holds 11.
-    assert_eq!(exit_code(source), 1 * 10000 + 22 * 100 + 11);
+    assert_eq!(exit_code(source), 10000 + 22 * 100 + 11);
 }
 
 /// Figure 1 with injected failures: the speculative version aborts and the
@@ -392,10 +392,10 @@ fn compile_errors_for_bad_programs() {
     // main with parameters.
     assert!(compile_source("int main(int argc) { return argc; }").is_err());
     // User call in a while condition.
-    assert!(compile_source(
-        "int f() { return 0; } int main() { while (f() < 1) { } return 0; }"
-    )
-    .is_err());
+    assert!(
+        compile_source("int f() { return 0; } int main() { while (f() < 1) { } return 0; }")
+            .is_err()
+    );
 }
 
 #[test]

@@ -14,8 +14,7 @@
 //! resumed later with `mcc resume`.
 
 use mojave_core::{
-    BackendKind, DeliveryOutcome, MigrationImage, MigrationSink, Process, ProcessConfig,
-    RunOutcome,
+    BackendKind, DeliveryOutcome, MigrationImage, MigrationSink, Process, ProcessConfig, RunOutcome,
 };
 use mojave_fir::MigrateProtocol;
 use std::path::Path;
@@ -120,7 +119,9 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "compile" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             match compile(path) {
                 Ok(program) => {
                     print!("{}", mojave_fir::display::program_to_string(&program));
@@ -138,11 +139,13 @@ fn main() -> ExitCode {
             }
         }
         "run" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let config = parse_config(&args[2..]);
-            match compile(path).and_then(|program| {
-                Process::new(program, config).map_err(|e| e.to_string())
-            }) {
+            match compile(path)
+                .and_then(|program| Process::new(program, config).map_err(|e| e.to_string()))
+            {
                 Ok(process) => run_process(process.with_sink(Box::new(FileSink))),
                 Err(e) => {
                     eprintln!("mcc: {e}");
@@ -151,7 +154,9 @@ fn main() -> ExitCode {
             }
         }
         "resume" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let config = parse_config(&args[2..]);
             let bytes = match std::fs::read(Path::new(path)) {
                 Ok(b) => b,
@@ -172,7 +177,9 @@ fn main() -> ExitCode {
             }
         }
         "inspect" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let bytes = match std::fs::read(Path::new(path)) {
                 Ok(b) => b,
                 Err(e) => {
@@ -189,7 +196,11 @@ fn main() -> ExitCode {
                     println!("open speculations   : {}", image.open_speculations);
                     match &image.code {
                         mojave_core::migrate::PackedCode::Fir(p) => {
-                            println!("code                : FIR, {} functions, {} nodes", p.funs.len(), p.size());
+                            println!(
+                                "code                : FIR, {} functions, {} nodes",
+                                p.funs.len(),
+                                p.size()
+                            );
                         }
                         mojave_core::migrate::PackedCode::Binary { arch, bytecode } => {
                             println!(

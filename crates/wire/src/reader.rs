@@ -203,7 +203,17 @@ mod tests {
 
     #[test]
     fn ivarint_roundtrip_boundaries() {
-        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::MAX,
+            i64::MIN,
+            1 << 40,
+            -(1 << 40),
+        ] {
             let mut w = WireWriter::new();
             w.write_ivarint(v);
             let bytes = w.into_bytes();

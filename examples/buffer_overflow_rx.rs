@@ -64,6 +64,10 @@ fn main() {
         process.stats().rollbacks
     );
     assert_eq!(outcome, RunOutcome::Exit(100));
-    assert_eq!(process.stats().rollbacks, 1, "the overflow triggered one rollback");
+    assert_eq!(
+        process.stats().rollbacks,
+        1,
+        "the overflow triggered one rollback"
+    );
     println!("the overflow was absorbed by a rollback and the retry completed the work");
 }

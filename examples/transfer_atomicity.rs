@@ -65,7 +65,10 @@ fn transfer_program(fail_percent: u32, seed_rounds: u32) -> String {
 
 fn main() {
     println!("Figure 1 — speculative Transfer under failure injection");
-    println!("{:<14} {:>10} {:>12}", "fail rate", "successes", "consistent");
+    println!(
+        "{:<14} {:>10} {:>12}",
+        "fail rate", "successes", "consistent"
+    );
     for fail_percent in [0u32, 10, 30, 60, 90] {
         let source = transfer_program(fail_percent, 40);
         let program = compile_source(&source).expect("transfer program compiles");

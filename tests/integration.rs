@@ -165,7 +165,11 @@ fn speculative_transfer_beats_manual_recovery() {
     "#;
     let program = compile_source(speculative).unwrap();
     let mut p = Process::new(program, ProcessConfig::default()).unwrap();
-    assert_eq!(p.run().unwrap(), RunOutcome::Exit(1), "speculative version stays consistent");
+    assert_eq!(
+        p.run().unwrap(),
+        RunOutcome::Exit(1),
+        "speculative version stays consistent"
+    );
 
     // The traditional version from the top half of Figure 1: in-line error
     // recovery with a compensating write.  A partial write that the
@@ -253,7 +257,10 @@ fn binary_vs_fir_migration_behaviour() {
         };
         let resumed = Process::from_image(image, dest);
         if binary && !arch_ok {
-            assert!(resumed.is_err(), "binary images must not cross architectures");
+            assert!(
+                resumed.is_err(),
+                "binary images must not cross architectures"
+            );
         } else {
             assert_eq!(resumed.unwrap().run().unwrap(), RunOutcome::Exit(99));
         }

@@ -1,0 +1,92 @@
+//! Workspace smoke test: a tiny MojaveC program travels the whole stack —
+//! front end → FIR → runtime → wire image — entirely through the umbrella
+//! crate's re-exports, so a broken `pub use` in `src/lib.rs` fails here even
+//! when every member crate's own tests still pass.
+
+use mojave::core::{BackendKind, Process, ProcessConfig, RunOutcome};
+use mojave::lang::compile_source;
+
+const SOURCE: &str = r#"
+    // Speculate, mutate, roll back on the failure arm, then recompute the
+    // answer for real: exercises the paper's enter/commit primitives plus
+    // plain arithmetic and control flow.
+    int main() {
+        int acc = 0;
+        int id = speculate();
+        if (id > 0) {
+            commit(id);
+            for (int i = 1; i <= 4; i = i + 1) {
+                acc = acc + i * i;
+            }
+            return acc + 12;
+        }
+        return 0;
+    }
+"#;
+
+/// 1 + 4 + 9 + 16 + 12.
+const EXPECTED: i64 = 42;
+
+#[test]
+fn compile_and_run_through_umbrella_reexports() {
+    let program = compile_source(SOURCE).expect("MojaveC source compiles to FIR");
+    assert!(program.size() > 0, "compiled program has FIR nodes");
+
+    let mut process = Process::from_program(program);
+    let outcome = process.run().expect("program runs to completion");
+    assert_eq!(outcome, RunOutcome::Exit(EXPECTED));
+    assert!(
+        process.stats().speculations >= 1,
+        "speculate() was executed"
+    );
+    assert!(process.stats().commits >= 1, "commit() was executed");
+}
+
+#[test]
+fn both_backends_agree_on_the_result() {
+    for backend in [BackendKind::Interp, BackendKind::Bytecode] {
+        let program = compile_source(SOURCE).expect("source compiles");
+        let config = ProcessConfig {
+            backend,
+            ..ProcessConfig::default()
+        };
+        let mut process = Process::new(program, config).expect("program verifies");
+        let outcome = process.run().expect("program runs");
+        assert_eq!(outcome, RunOutcome::Exit(EXPECTED), "backend {backend:?}");
+    }
+}
+
+#[test]
+fn checkpoint_image_roundtrips_through_the_wire_layer() {
+    use mojave::core::{CheckpointStore, InMemorySink, MigrationImage};
+
+    let source = r#"
+        int main() {
+            int acc = 0;
+            for (int i = 1; i <= 4; i = i + 1) {
+                acc = acc + i * i;
+                if (i == 2) { checkpoint("smoke-mid"); }
+            }
+            return acc + 12;
+        }
+    "#;
+    let program = compile_source(source).expect("source compiles");
+    let store = CheckpointStore::new();
+    let mut process = Process::new(program, ProcessConfig::default())
+        .expect("program verifies")
+        .with_sink(Box::new(InMemorySink::with_store(store.clone())));
+    let outcome = process.run().expect("first run completes");
+    assert_eq!(outcome, RunOutcome::Exit(EXPECTED));
+
+    // Re-encode the checkpoint through the wire layer by hand, so the
+    // umbrella's `wire`-facing re-exports are exercised too.
+    let image = store.load("smoke-mid").expect("checkpoint was written");
+    let bytes = image.to_bytes();
+    assert!(!bytes.is_empty());
+    let decoded = MigrationImage::from_bytes(&bytes).expect("image decodes");
+
+    let mut resumed =
+        Process::from_image(decoded, ProcessConfig::default()).expect("resumed image verifies");
+    let resumed_outcome = resumed.run().expect("resumed process runs");
+    assert_eq!(resumed_outcome, RunOutcome::Exit(EXPECTED));
+}

@@ -1,0 +1,407 @@
+//! A minimal, offline stand-in for the [Criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements exactly the subset of Criterion's API that the
+//! benches under `crates/bench/benches/` use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `iter` / `iter_batched`, throughput annotations and
+//! `black_box`. It measures wall-clock time with `std::time::Instant`,
+//! runs a warm-up pass plus `sample_size` timed samples, and reports the
+//! median per-iteration time — enough to compare the paper's experiments
+//! against each other, without Criterion's statistical machinery.
+//!
+//! Swapping the real Criterion back in is a one-line change in the
+//! workspace manifest; no bench source needs to change.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function that the
+/// optimiser treats as opaque.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost across iterations. The shim
+/// runs one setup per routine invocation regardless of the variant, so the
+/// variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; setup is cheap relative to the routine.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per sample.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark, reported alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the timed samples, filled in by `iter*`.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            measured: None,
+        }
+    }
+
+    /// Time `routine` over `samples` timed samples (after a calibrating
+    /// warm-up) and record the median per-iteration time.
+    ///
+    /// Each timed sample runs the routine in a loop sized so the timed
+    /// region is at least ~10 µs, then divides — otherwise nanosecond-scale
+    /// routines (pointer-table lookups, speculation enters) would measure
+    /// `Instant` overhead instead of themselves.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let calibration = Instant::now();
+        black_box(routine());
+        let once = calibration.elapsed();
+        let iters = iters_for(once);
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / iters);
+        }
+        self.record(times);
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup`; only the routine
+    /// is inside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        self.record(times);
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by mutable
+    /// reference so the routine can reuse it.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            times.push(start.elapsed());
+        }
+        self.record(times);
+    }
+
+    fn record(&mut self, mut times: Vec<Duration>) {
+        times.sort_unstable();
+        self.measured = times.get(times.len() / 2).copied();
+    }
+}
+
+/// A named collection of related benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's total time is
+    /// `sample_size` iterations, not a time budget.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark (skipped when a CLI filter excludes it).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if !self.selected(&id) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        if !self.selected(&id) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Print the group's trailing newline. (The real Criterion finalises
+    /// reports here; the shim prints as it goes.)
+    pub fn finish(self) {}
+
+    fn selected(&self, id: &BenchmarkId) -> bool {
+        match &self.criterion.filter {
+            Some(filter) => format!("{}/{}", self.name, id).contains(filter.as_str()),
+            None => true,
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let median = match bencher.measured {
+            Some(t) => t,
+            None => return,
+        };
+        let mut line = format!(
+            "{}/{}: median {} over {} samples",
+            self.name,
+            id,
+            fmt_duration(median),
+            self.sample_size
+        );
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                let mibps = bytes as f64 / secs / (1024.0 * 1024.0);
+                line.push_str(&format!("  ({mibps:.1} MiB/s)"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Iterations per timed sample: enough that the timed region is ~10 µs even
+/// for nanosecond routines, 1 for routines already ≥ 10 µs, capped so a
+/// mis-calibrated fast first call cannot produce an hours-long sample.
+fn iters_for(once: Duration) -> u32 {
+    const TARGET: Duration = Duration::from_micros(10);
+    if once >= TARGET {
+        return 1;
+    }
+    let once_nanos = once.as_nanos().max(1) as u64;
+    (TARGET.as_nanos() as u64 / once_nanos).clamp(1, 100_000) as u32
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Flags forwarded by cargo (`--bench`, `--nocapture`, ...) are
+        // ignored; the first non-flag argument — what the user typed after
+        // `cargo bench -- ` — is a substring filter on the full
+        // `group/benchmark` name, like the real Criterion's.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion {
+            default_sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_owned());
+        group.bench_function("single", f);
+        group.finish();
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (requires `harness = false`),
+/// mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // One calibrating warm-up plus three timed samples of >= 1
+        // iteration each (fast routines loop many times per sample).
+        assert!(runs >= 4, "runs={runs}");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut setups = 0usize;
+        group.bench_with_input(BenchmarkId::new("batched", 1), &1, |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", "10KiB").to_string(), "f/10KiB");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

@@ -1,0 +1,168 @@
+//! A minimal, offline stand-in for [proptest](https://docs.rs/proptest).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements the subset of proptest's API that the property
+//! tests under `crates/wire/tests/` and `crates/heap/tests/` use:
+//!
+//! * the [`proptest!`] macro (`fn name(x in strategy, ...) { body }`),
+//! * [`Strategy`] with `prop_map`, integer-range / tuple / string-pattern
+//!   strategies, [`any`], [`prop_oneof!`] and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Generation is driven by a deterministic SplitMix64 stream seeded from the
+//! test's name, so failures reproduce exactly across runs and machines.
+//! There is **no shrinking**: a failing case reports the seed and iteration
+//! instead. The number of cases per test defaults to 64 and can be raised
+//! with the `PROPTEST_CASES` environment variable.
+//!
+//! Swapping the real proptest back in is a one-line change in the workspace
+//! manifest; no test source needs to change.
+
+pub mod strategy;
+
+pub mod collection {
+    //! Strategies for collections (the `vec` combinator).
+
+    use crate::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// lies in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The driver loop behind the [`proptest!`](crate::proptest) macro.
+
+    pub use crate::strategy::TestRng;
+
+    /// Number of generated cases per property, from `PROPTEST_CASES`
+    /// (default 64).
+    pub fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests: each `arg in strategy` binding is regenerated for
+/// every case and the body re-run.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    let run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest: property `{}` failed on case {case} of {cases} \
+                             (seeded from the test name; rerun reproduces it)",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property (maps to [`assert!`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (maps to [`assert_eq!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Pick uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 3usize..17, w in -5i64..5) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!((-5..5).contains(&w));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![
+                (0usize..4).prop_map(|n| n * 10),
+                (0usize..4).prop_map(|n| n + 100),
+            ]
+        ) {
+            prop_assert!(x < 40 || (100..104).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("seed");
+        let mut b = TestRng::deterministic("seed");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_utf8_in_length_bounds() {
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..200 {
+            let s = Strategy::generate(&".{0,32}", &mut rng);
+            assert!(s.chars().count() <= 32);
+            let any_len = Strategy::generate(&".*", &mut rng);
+            assert!(any_len.chars().count() <= 64);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Value-generation strategies and the deterministic RNG driving them.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator. Seeded from a test's name so every
+/// run of a property replays the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (FNV-1a over the bytes).
+    pub fn deterministic(label: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from a half-open `usize` range (empty ranges yield the
+    /// start).
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.end <= range.start {
+            return range.start;
+        }
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+
+    /// Uniform draw from a half-open `i128` range (empty ranges yield the
+    /// start); wide enough for every primitive integer type.
+    pub fn i128_in(&mut self, start: i128, end: i128) -> i128 {
+        if end <= start {
+            return start;
+        }
+        let span = (end - start) as u128;
+        let draw = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        start + (draw % span) as i128
+    }
+}
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking, so a strategy is just a
+/// deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A boxed, type-erased strategy (element type of [`Union`]).
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// Box a strategy, erasing its concrete type.
+pub fn boxed<S>(strategy: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice among several strategies with a common value type
+/// (backs the [`prop_oneof!`](crate::prop_oneof) macro).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<V> Union<V> {
+    /// A union over the given non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.usize_in(0..self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Strategy for "any value of `T`" — full bit patterns for integers and
+/// floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! any_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // All bit patterns, NaNs and infinities included: codecs must
+        // round-trip them bit-for-bit.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.i128_in(self.start as i128, self.end as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// String-pattern strategies: a `&str` is interpreted as a regex the way the
+/// workspace's tests use them — `".*"` (any string up to 64 chars) and
+/// `".{lo,hi}"` (length between `lo` and `hi`). Anything else generates the
+/// pattern's literal characters, which keeps unknown patterns loud in tests
+/// rather than silently empty.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = match parse_length_pattern(self) {
+            Some(bounds) => bounds,
+            None => return (*self).to_owned(),
+        };
+        let len = rng.usize_in(lo..hi + 1);
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_length_pattern(pattern: &str) -> Option<(usize, usize)> {
+    if pattern == ".*" {
+        return Some((0, 64));
+    }
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Mostly printable ASCII, with a sprinkling of multi-byte code points so
+/// UTF-8 handling is exercised.
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.next_u64() % 8 {
+        0 => char::from_u32(0x00A1 + (rng.next_u64() % 0x500) as u32).unwrap_or('ß'),
+        1 => ['λ', '雪', '🛰', '∀', 'Ω', 'ț'][rng.usize_in(0..6)],
+        _ => (b' ' + (rng.next_u64() % 95) as u8) as char,
+    }
+}
