@@ -12,10 +12,11 @@
 //! values and the calibrated cost-model estimates (see EXPERIMENTS.md).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mojave_bench::process_with_heap;
+use mojave_bench::{mutate_percent, populate_heap, process_with_heap};
 use mojave_cluster::CostModel;
 use mojave_core::{Process, ProcessConfig};
-use mojave_heap::Word;
+use mojave_heap::{Heap, HeapConfig, Word};
+use mojave_wire::{WireReader, WireWriter};
 use std::time::Duration;
 
 const HEAP_SIZES_KB: [usize; 4] = [64, 256, 1024, 4096];
@@ -122,10 +123,133 @@ fn recompilation_share(c: &mut Criterion) {
     }
 }
 
+/// The wire hot path itself: batched slab encoding vs. the legacy per-word
+/// varint loop, on identical 1 MiB heaps, both directions.
+fn heap_encode_paths(c: &mut Criterion) {
+    const HEAP_BYTES: usize = 1024 * 1024;
+    let mut heap = Heap::new();
+    populate_heap(&mut heap, HEAP_BYTES);
+
+    let mut group = c.benchmark_group("migration/heap_encode");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Bytes(HEAP_BYTES as u64));
+    group.bench_function("legacy_per_word_encode", |b| {
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity(HEAP_BYTES);
+            heap.encode_image_legacy(&mut w);
+            w.into_bytes().len()
+        });
+    });
+    group.bench_function("batched_encode", |b| {
+        b.iter(|| {
+            let mut w = WireWriter::with_capacity(HEAP_BYTES);
+            heap.encode_image(&mut w);
+            w.into_bytes().len()
+        });
+    });
+
+    let mut w = WireWriter::new();
+    heap.encode_image_legacy(&mut w);
+    let legacy_bytes = w.into_bytes();
+    let mut w = WireWriter::new();
+    heap.encode_image(&mut w);
+    let batched_bytes = w.into_bytes();
+    group.bench_function("legacy_per_word_decode", |b| {
+        b.iter(|| {
+            let mut r = WireReader::new(&legacy_bytes);
+            Heap::decode_image_legacy(&mut r, HeapConfig::default()).unwrap()
+        });
+    });
+    group.bench_function("batched_decode", |b| {
+        b.iter(|| {
+            let mut r = WireReader::new(&batched_bytes);
+            Heap::decode_image(&mut r, HeapConfig::default()).unwrap()
+        });
+    });
+    group.finish();
+    eprintln!(
+        "heap image sizes for {} KiB of live data: legacy {} B, batched {} B",
+        HEAP_BYTES / 1024,
+        legacy_bytes.len(),
+        batched_bytes.len()
+    );
+}
+
+/// Delta vs. full checkpoint cost as a function of the mutated fraction:
+/// the delta path's work should track the dirty percentage, the full path
+/// the total heap size.
+fn delta_vs_full_checkpoints(c: &mut Criterion) {
+    const HEAP_BYTES: usize = 1024 * 1024;
+    let mut group = c.benchmark_group("migration/delta_vs_full");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+
+    let mut sizes = Vec::new();
+    for percent in [1usize, 10, 50] {
+        let mut heap = Heap::new();
+        let ptrs = populate_heap(&mut heap, HEAP_BYTES);
+        heap.mark_clean();
+        mutate_percent(&mut heap, &ptrs, percent);
+
+        // Per-variant throughput: each path is credited with the bytes it
+        // actually produces, so the delta numbers are not inflated by the
+        // untouched remainder of the heap.
+        let mut w = WireWriter::new();
+        heap.encode_image(&mut w);
+        let full_len = w.into_bytes().len();
+        let mut w = WireWriter::new();
+        heap.encode_delta_image(&mut w);
+        let delta_len = w.into_bytes().len();
+        sizes.push((percent, full_len, delta_len));
+
+        group.throughput(Throughput::Bytes(full_len as u64));
+        group.bench_with_input(
+            BenchmarkId::new("full", format!("{percent}pct_dirty")),
+            &percent,
+            |b, _| {
+                b.iter(|| {
+                    let mut w = WireWriter::with_capacity(HEAP_BYTES);
+                    heap.encode_image(&mut w);
+                    w.into_bytes().len()
+                });
+            },
+        );
+        group.throughput(Throughput::Bytes(delta_len as u64));
+        group.bench_with_input(
+            BenchmarkId::new("delta", format!("{percent}pct_dirty")),
+            &percent,
+            |b, _| {
+                b.iter(|| {
+                    let mut w = WireWriter::new();
+                    heap.encode_delta_image(&mut w);
+                    w.into_bytes().len()
+                });
+            },
+        );
+    }
+    group.finish();
+    eprintln!("checkpoint image sizes (1 MiB live heap):");
+    eprintln!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "dirty %", "full (B)", "delta (B)", "ratio"
+    );
+    for (percent, full, delta) in sizes {
+        eprintln!(
+            "{percent:>11}% {full:>12} {delta:>12} {:>7.1}x",
+            full as f64 / delta as f64
+        );
+    }
+}
+
 criterion_group!(
     benches,
     fir_migration,
     binary_migration,
-    recompilation_share
+    recompilation_share,
+    heap_encode_paths,
+    delta_vs_full_checkpoints
 );
 criterion_main!(benches);

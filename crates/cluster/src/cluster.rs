@@ -24,7 +24,17 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
-    /// A cluster of `nodes` homogeneous nodes with the paper's network.
+    /// A cluster of `nodes` nodes with the paper's network model and
+    /// **alternating architectures**: even nodes are `ia32-sim`, odd nodes
+    /// `risc-sim`.
+    ///
+    /// The alternation is deliberate — it makes every default multi-node
+    /// test a *heterogeneous* migration test, exercising the paper's claim
+    /// that the canonical image format needs no translation between
+    /// machines.  It is not free, though: FIR images are recompiled for the
+    /// destination architecture and binary migration is refused across the
+    /// boundary.  Benchmarks and experiments that want architecture effects
+    /// out of the picture should use [`ClusterConfig::homogeneous`].
     pub fn new(nodes: usize) -> Self {
         ClusterConfig {
             nodes,
@@ -39,6 +49,18 @@ impl ClusterConfig {
                     }
                 })
                 .collect(),
+        }
+    }
+
+    /// A cluster whose nodes all share one architecture tag, opting out of
+    /// the cross-architecture translation noise that
+    /// [`ClusterConfig::new`]'s alternating tags introduce (binary
+    /// migration works between any pair of nodes, and recompilation costs
+    /// are uniform).
+    pub fn homogeneous(nodes: usize, arch: &str) -> Self {
+        ClusterConfig {
+            archs: vec![arch.to_owned(); nodes],
+            ..ClusterConfig::new(nodes)
         }
     }
 }
@@ -331,7 +353,15 @@ impl MigrationDaemon {
         packed: &PackedProcess,
         config: &ProcessConfig,
     ) -> Result<Process, RuntimeError> {
-        let image = packed.image()?;
+        let mut image = packed.image()?;
+        // `migrate://` images are normally full, but if a delta arrives
+        // (e.g. an image relayed straight out of the checkpoint store) the
+        // daemon negotiates: resolve against the shared store's base copy,
+        // or reject with a precise error if the base is gone.
+        if let Some(base_name) = image.heap_image.base().map(str::to_owned) {
+            let base = self.cluster.store().load_raw(&base_name)?;
+            image = image.resolve_delta(&base)?;
+        }
         let config = ProcessConfig {
             machine: mojave_core::Machine::new(self.cluster.arch(self.node)),
             ..config.clone()
@@ -361,6 +391,17 @@ impl MigrationDaemon {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn homogeneous_config_uses_one_arch() {
+        let config = ClusterConfig::homogeneous(4, "ia32-sim");
+        assert!(config.archs.iter().all(|a| a == "ia32-sim"));
+        let cluster = Cluster::new(config);
+        assert_eq!(cluster.arch(0), cluster.arch(3));
+        // The default config alternates.
+        let alternating = Cluster::new(ClusterConfig::new(4));
+        assert_ne!(alternating.arch(0), alternating.arch(1));
+    }
 
     #[test]
     fn send_recv_roundtrip() {

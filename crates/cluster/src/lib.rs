@@ -23,7 +23,21 @@
 //!   checkpoints to the shared store and routes `migrate://node<k>` images to
 //!   the target node's migration daemon.
 //! * [`MigrationDaemon`] — accepts inbound images, verifies and recompiles
-//!   them, and runs them (the paper's "migration server").
+//!   them, and runs them (the paper's "migration server").  Daemons and
+//!   sinks negotiate **delta checkpoints**: [`ClusterSink`] reports whether
+//!   a base image is still on the shared store, and images that arrive as
+//!   deltas are resolved against it (falling back to a precise error, never
+//!   a partial heap).
+//!
+//! ```
+//! use mojave_cluster::{Cluster, ClusterConfig, RecvOutcome};
+//!
+//! // Two homogeneous nodes exchanging a tagged message.
+//! let cluster = Cluster::new(ClusterConfig::homogeneous(2, "ia32-sim"));
+//! cluster.send(0, 1, 42, vec![1.0, 2.0]);
+//! assert_eq!(cluster.recv(1, 0, 42), RecvOutcome::Data(vec![1.0, 2.0]));
+//! assert_eq!(cluster.messages_sent(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +48,7 @@ mod externals;
 mod network;
 mod sink;
 
-pub use cluster::{Cluster, ClusterConfig, MigrationDaemon, NodeStatus};
+pub use cluster::{Cluster, ClusterConfig, MigrationDaemon, NodeStatus, RecvOutcome};
 pub use costmodel::CostModel;
 pub use externals::ClusterExternals;
 pub use network::NetworkModel;

@@ -77,6 +77,14 @@ impl MigrationSink for ClusterSink {
             }
         }
     }
+
+    /// Base-image negotiation: deltas are resolvable as long as the base
+    /// checkpoint is still on the shared reliable store — with the heap
+    /// content the writer remembers, not merely the same name — which
+    /// every node (and the resurrection daemon) can reach.
+    fn has_base(&self, base: &str, base_fingerprint: u64) -> bool {
+        self.cluster.store().heap_fingerprint(base) == Some(base_fingerprint)
+    }
 }
 
 #[cfg(test)]

@@ -59,7 +59,8 @@ pub use error::RuntimeError;
 pub use externals::{DefaultExternals, ExtCall, Externals, MSG_OK, MSG_ROLL};
 pub use machine::Machine;
 pub use migrate::{
-    CheckpointStore, DeliveryOutcome, InMemorySink, MigrationImage, MigrationSink, PackedProcess,
+    CheckpointStore, DeliveryOutcome, HeapImage, InMemorySink, MigrationImage, MigrationSink,
+    PackedProcess,
 };
 pub use process::{Process, ProcessConfig, ProcessStats, RunOutcome};
 pub use speculate::SpeculationManager;

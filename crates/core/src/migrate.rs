@@ -23,7 +23,9 @@ use crate::backend::BytecodeProgram;
 use crate::error::RuntimeError;
 use mojave_fir::{MigrateProtocol, Program};
 use mojave_heap::{Heap, HeapConfig, PtrIdx, Word};
-use mojave_wire::{SectionTag, WireCodec, WireError, WireReader, WireWriter};
+use mojave_wire::{
+    SectionTag, WireCodec, WireError, WireReader, WireWriter, FORMAT_VERSION, MIN_SUPPORTED_VERSION,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -52,19 +54,83 @@ impl PackedCode {
     }
 }
 
+/// The heap payload of a migration image: a complete encoding of the live
+/// heap, or an incremental delta against a named base checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapImage {
+    /// Full heap encoding, produced by `Heap::encode_image` (or the legacy
+    /// per-word encoder in v1 images).
+    Full(Vec<u8>),
+    /// Only the blocks dirtied since the base checkpoint plus the
+    /// pointer-table fixups, produced by `Heap::encode_delta_image`.
+    /// Resolving requires the base image, normally via
+    /// [`CheckpointStore::load`].
+    Delta {
+        /// Name of the base checkpoint (a full image) in the store.
+        base: String,
+        /// [`mojave_wire::fingerprint`] of the base's heap payload bytes.
+        /// Resolution verifies it, so a base overwritten under the same
+        /// name is a precise error instead of a silently wrong heap.
+        base_fingerprint: u64,
+        /// The encoded delta.
+        bytes: Vec<u8>,
+    },
+}
+
+impl HeapImage {
+    /// Size of the encoded heap payload in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            HeapImage::Full(bytes) | HeapImage::Delta { bytes, .. } => bytes.len(),
+        }
+    }
+
+    /// Whether the payload is empty (never the case for real images).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is a delta payload.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, HeapImage::Delta { .. })
+    }
+
+    /// The base checkpoint name, for delta payloads.
+    pub fn base(&self) -> Option<&str> {
+        match self {
+            HeapImage::Full(_) => None,
+            HeapImage::Delta { base, .. } => Some(base),
+        }
+    }
+
+    /// [`mojave_wire::fingerprint`] of the payload bytes — what a delta
+    /// records about its base so resolution can detect an overwritten one.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            HeapImage::Full(bytes) | HeapImage::Delta { bytes, .. } => {
+                mojave_wire::fingerprint(bytes)
+            }
+        }
+    }
+}
+
 /// A complete, self-contained image of a process: everything needed to
 /// resume it on any machine (or later in time, for checkpoints — the paper
 /// formats checkpoints as executable files; ours are executable by
 /// `mcc resume <file>` or [`crate::Process::from_image`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MigrationImage {
+    /// Wire format version this image was decoded from (or will be encoded
+    /// as): [`FORMAT_VERSION`] for freshly packed images,
+    /// [`MIN_SUPPORTED_VERSION`] for legacy v1 checkpoints.  Selects the
+    /// section layout and the heap block codec.
+    pub format_version: u32,
     /// Architecture tag of the machine that packed the image.
     pub source_arch: String,
     /// The code section.
     pub code: PackedCode,
-    /// Encoded heap (pointer table + blocks), produced by
-    /// `Heap::encode_image`.
-    pub heap_image: Vec<u8>,
+    /// Encoded heap (pointer table + blocks), full or delta.
+    pub heap_image: HeapImage,
     /// Pointer to the `migrate_env` block holding the live variables.
     pub migrate_env: PtrIdx,
     /// The continuation to call on resume (`Word::Fun` or a closure
@@ -85,10 +151,34 @@ impl MigrationImage {
         self.to_bytes().len()
     }
 
-    /// Serialise the image to the canonical wire format.
+    /// Whether this image uses the legacy v1 layout (unframed sections,
+    /// per-word heap blocks).
+    fn is_legacy(&self) -> bool {
+        self.format_version <= MIN_SUPPORTED_VERSION
+    }
+
+    /// Serialise the image to the canonical wire format, using the layout
+    /// matching [`MigrationImage::format_version`] so decode/encode round
+    /// trips are byte-faithful for both versions.
+    ///
+    /// The v1 layout cannot express delta payloads; an image whose fields
+    /// were edited into that (unreachable-by-decode) combination is
+    /// serialised as v2 rather than panicking.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = WireWriter::with_capacity(self.heap_image.len() + 1024);
-        w.write_header(&self.source_arch);
+        if self.is_legacy() && !self.heap_image.is_delta() {
+            self.to_bytes_v1()
+        } else {
+            self.to_bytes_v2()
+        }
+    }
+
+    /// The v1 layout: bare section tags, no frame lengths, full heap only.
+    fn to_bytes_v1(&self) -> Vec<u8> {
+        let HeapImage::Full(heap_bytes) = &self.heap_image else {
+            unreachable!("v1 images cannot carry delta heap payloads");
+        };
+        let mut w = WireWriter::with_capacity(heap_bytes.len() + 1024);
+        w.write_header_versioned(&self.source_arch, self.format_version);
         match &self.code {
             PackedCode::Fir(program) => {
                 w.write_section(SectionTag::FirProgram);
@@ -101,7 +191,7 @@ impl MigrationImage {
             }
         }
         w.write_section(SectionTag::HeapBlocks);
-        w.write_bytes(&self.heap_image);
+        w.write_bytes(heap_bytes);
         w.write_section(SectionTag::MigrateEnv);
         w.write_uvarint(self.migrate_env.0 as u64);
         w.write_section(SectionTag::Resume);
@@ -112,16 +202,92 @@ impl MigrationImage {
         w.into_bytes()
     }
 
+    /// The v2 layout: every section after the header is framed
+    /// (tag + u32 length + body), so decoders can slice or skip sections
+    /// without parsing them, and the heap payload may be a delta.
+    fn to_bytes_v2(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.heap_image.len() + 1024);
+        // A legacy-versioned image forced onto this path (delta payload)
+        // must advertise a version its framed layout matches.
+        let version = if self.is_legacy() {
+            FORMAT_VERSION
+        } else {
+            self.format_version
+        };
+        w.write_header_versioned(&self.source_arch, version);
+        match &self.code {
+            PackedCode::Fir(program) => {
+                let mut s = w.begin_section(SectionTag::FirProgram);
+                program.encode(&mut s);
+            }
+            PackedCode::Binary { arch, bytecode } => {
+                let mut s = w.begin_section(SectionTag::Bytecode);
+                s.write_str(arch);
+                bytecode.encode(&mut s);
+            }
+        }
+        match &self.heap_image {
+            HeapImage::Full(bytes) => {
+                let mut s = w.begin_section(SectionTag::HeapBlocks);
+                s.write_bytes(bytes);
+            }
+            HeapImage::Delta {
+                base,
+                base_fingerprint,
+                bytes,
+            } => {
+                let mut s = w.begin_section(SectionTag::HeapDelta);
+                s.write_str(base);
+                s.write_u64(*base_fingerprint);
+                s.write_bytes(bytes);
+            }
+        }
+        {
+            let mut s = w.begin_section(SectionTag::MigrateEnv);
+            s.write_uvarint(self.migrate_env.0 as u64);
+        }
+        {
+            let mut s = w.begin_section(SectionTag::Resume);
+            self.resume_fun.encode(&mut s);
+            s.write_uvarint(self.label as u64);
+        }
+        {
+            let mut s = w.begin_section(SectionTag::Speculation);
+            s.write_uvarint(self.open_speculations as u64);
+        }
+        w.into_bytes()
+    }
+
     /// Decode an image, rejecting corrupted or version-mismatched input.
+    /// Both the current framed layout and the legacy v1 layout decode; the
+    /// header version selects the parser.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(bytes);
-        let source_arch = r.read_header()?;
+        let header = r.read_header()?;
+        let image = if header.version <= MIN_SUPPORTED_VERSION {
+            Self::from_bytes_v1(&mut r, header.version, header.source_arch)?
+        } else {
+            Self::from_bytes_v2(&mut r, header.version, header.source_arch)?
+        };
+        if !r.is_empty() {
+            return Err(WireError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(image)
+    }
+
+    fn from_bytes_v1(
+        r: &mut WireReader<'_>,
+        format_version: u32,
+        source_arch: String,
+    ) -> Result<Self, WireError> {
         let tag = r.read_u8()?;
         let code = match SectionTag::from_u8(tag) {
-            Some(SectionTag::FirProgram) => PackedCode::Fir(Program::decode(&mut r)?),
+            Some(SectionTag::FirProgram) => PackedCode::Fir(Program::decode(r)?),
             Some(SectionTag::Bytecode) => PackedCode::Binary {
                 arch: r.read_str()?.to_owned(),
-                bytecode: BytecodeProgram::decode(&mut r)?,
+                bytecode: BytecodeProgram::decode(r)?,
             },
             _ => {
                 return Err(WireError::SectionMismatch {
@@ -131,20 +297,79 @@ impl MigrationImage {
             }
         };
         r.expect_section(SectionTag::HeapBlocks)?;
-        let heap_image = r.read_bytes()?.to_vec();
+        let heap_image = HeapImage::Full(r.read_bytes()?.to_vec());
         r.expect_section(SectionTag::MigrateEnv)?;
         let migrate_env = PtrIdx(r.read_uvarint()? as u32);
         r.expect_section(SectionTag::Resume)?;
-        let resume_fun = Word::decode(&mut r)?;
+        let resume_fun = Word::decode(r)?;
         let label = r.read_uvarint()? as u32;
         r.expect_section(SectionTag::Speculation)?;
         let open_speculations = r.read_uvarint()? as u32;
-        if !r.is_empty() {
-            return Err(WireError::TrailingBytes {
-                remaining: r.remaining(),
-            });
-        }
         Ok(MigrationImage {
+            format_version,
+            source_arch,
+            code,
+            heap_image,
+            migrate_env,
+            resume_fun,
+            label,
+            open_speculations,
+        })
+    }
+
+    fn from_bytes_v2(
+        r: &mut WireReader<'_>,
+        format_version: u32,
+        source_arch: String,
+    ) -> Result<Self, WireError> {
+        let mut code_section = r.read_framed()?;
+        let code = match code_section.tag() {
+            SectionTag::FirProgram => PackedCode::Fir(Program::decode(&mut code_section)?),
+            SectionTag::Bytecode => PackedCode::Binary {
+                arch: code_section.read_str()?.to_owned(),
+                bytecode: BytecodeProgram::decode(&mut code_section)?,
+            },
+            other => {
+                return Err(WireError::SectionMismatch {
+                    expected: "FirProgram or Bytecode",
+                    found: other as u8,
+                })
+            }
+        };
+        code_section.finish()?;
+
+        let mut heap_section = r.read_framed()?;
+        let heap_image = match heap_section.tag() {
+            SectionTag::HeapBlocks => HeapImage::Full(heap_section.read_bytes()?.to_vec()),
+            SectionTag::HeapDelta => HeapImage::Delta {
+                base: heap_section.read_str()?.to_owned(),
+                base_fingerprint: heap_section.read_u64()?,
+                bytes: heap_section.read_bytes()?.to_vec(),
+            },
+            other => {
+                return Err(WireError::SectionMismatch {
+                    expected: "HeapBlocks or HeapDelta",
+                    found: other as u8,
+                })
+            }
+        };
+        heap_section.finish()?;
+
+        let mut env = r.expect_framed(SectionTag::MigrateEnv)?;
+        let migrate_env = PtrIdx(env.read_uvarint()? as u32);
+        env.finish()?;
+
+        let mut resume = r.expect_framed(SectionTag::Resume)?;
+        let resume_fun = Word::decode(&mut resume)?;
+        let label = resume.read_uvarint()? as u32;
+        resume.finish()?;
+
+        let mut spec = r.expect_framed(SectionTag::Speculation)?;
+        let open_speculations = spec.read_uvarint()? as u32;
+        spec.finish()?;
+
+        Ok(MigrationImage {
+            format_version,
             source_arch,
             code,
             heap_image,
@@ -156,15 +381,93 @@ impl MigrationImage {
     }
 
     /// Decode the heap section into a fresh heap.
+    ///
+    /// Delta images cannot be decoded standalone — resolve them against
+    /// their base first ([`MigrationImage::decode_heap_with_base`], or let
+    /// [`CheckpointStore::load`] do it).
     pub fn decode_heap(&self, config: HeapConfig) -> Result<Heap, RuntimeError> {
-        let mut r = WireReader::new(&self.heap_image);
-        let heap = Heap::decode_image(&mut r, config)?;
-        if !r.is_empty() {
-            return Err(RuntimeError::Image(WireError::TrailingBytes {
-                remaining: r.remaining(),
-            }));
+        match &self.heap_image {
+            HeapImage::Full(bytes) => {
+                let mut r = WireReader::new(bytes);
+                let heap = if self.is_legacy() {
+                    Heap::decode_image_legacy(&mut r, config)?
+                } else {
+                    Heap::decode_image(&mut r, config)?
+                };
+                if !r.is_empty() {
+                    return Err(RuntimeError::Image(WireError::TrailingBytes {
+                        remaining: r.remaining(),
+                    }));
+                }
+                Ok(heap)
+            }
+            HeapImage::Delta { base, .. } => Err(RuntimeError::MigrationRejected(format!(
+                "delta image needs its base checkpoint `{base}` to decode"
+            ))),
+        }
+    }
+
+    /// Decode the heap by applying this image's delta to `base` (a full
+    /// image, normally the checkpoint named by the delta).  For full
+    /// images this is just [`MigrationImage::decode_heap`].
+    ///
+    /// The base's heap payload must match the fingerprint recorded in the
+    /// delta: a base checkpoint that was overwritten under the same name
+    /// since the delta was written is a precise error, never a silently
+    /// wrong heap.
+    pub fn decode_heap_with_base(
+        &self,
+        base: &MigrationImage,
+        config: HeapConfig,
+    ) -> Result<Heap, RuntimeError> {
+        let HeapImage::Delta {
+            base: base_name,
+            base_fingerprint,
+            bytes,
+        } = &self.heap_image
+        else {
+            return self.decode_heap(config);
+        };
+        let HeapImage::Full(base_bytes) = &base.heap_image else {
+            return Err(RuntimeError::MigrationRejected(
+                "a delta's base checkpoint must be a full image".into(),
+            ));
+        };
+        if mojave_wire::fingerprint(base_bytes) != *base_fingerprint {
+            return Err(RuntimeError::MigrationRejected(format!(
+                "base checkpoint `{base_name}` does not match the content this delta \
+                 was written against (it was overwritten since)"
+            )));
+        }
+        let mut base_r = WireReader::new(base_bytes);
+        let mut delta_r = WireReader::new(bytes);
+        let heap = Heap::decode_delta_image(&mut base_r, &mut delta_r, !base.is_legacy(), config)?;
+        for (r, what) in [(&base_r, "base"), (&delta_r, "delta")] {
+            if !r.is_empty() {
+                return Err(RuntimeError::MigrationRejected(format!(
+                    "{what} heap image has {} trailing bytes",
+                    r.remaining()
+                )));
+            }
         }
         Ok(heap)
+    }
+
+    /// Materialise a delta image into an equivalent self-contained full
+    /// image by applying it to `base`.  The resulting image decodes
+    /// anywhere a freshly packed one does.
+    pub fn resolve_delta(&self, base: &MigrationImage) -> Result<MigrationImage, RuntimeError> {
+        if !self.heap_image.is_delta() {
+            return Ok(self.clone());
+        }
+        let heap = self.decode_heap_with_base(base, HeapConfig::default())?;
+        let mut w = WireWriter::with_capacity(self.heap_image.len() + base.heap_image.len());
+        heap.encode_image(&mut w);
+        Ok(MigrationImage {
+            format_version: FORMAT_VERSION,
+            heap_image: HeapImage::Full(w.into_bytes()),
+            ..self.clone()
+        })
     }
 }
 
@@ -210,6 +513,31 @@ pub trait MigrationSink {
         target: &str,
         image: &MigrationImage,
     ) -> DeliveryOutcome;
+
+    /// Base-image negotiation: whether the checkpoint named `base` is still
+    /// available on this sink's storage **with the expected heap content**
+    /// (`base_fingerprint`), i.e. whether a delta against it could be
+    /// resolved later.  Matching by name alone is not enough — another
+    /// writer may have replaced the name with a different image, and a
+    /// delta stored against it would be dead on arrival.  A process only
+    /// emits delta checkpoints when the sink answers `true`; the default
+    /// (`false`) makes every checkpoint a full image.
+    fn has_base(&self, _base: &str, _base_fingerprint: u64) -> bool {
+        false
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    images: HashMap<String, Vec<u8>>,
+    /// Lazily computed heap-payload fingerprints, invalidated whenever the
+    /// name is rewritten — keeps delta-base negotiation O(1) per
+    /// checkpoint instead of decoding the base image every time.
+    fingerprints: HashMap<String, u64>,
+    /// Bumped by every `put`/`remove`; fingerprints computed outside the
+    /// lock are only cached if no write landed in between, so a concurrent
+    /// overwrite can never pin a stale entry.
+    generation: u64,
 }
 
 /// A named store of checkpoint images — the stand-in for the paper's
@@ -218,7 +546,7 @@ pub trait MigrationSink {
 /// resurrection daemon can read what processes wrote.
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointStore {
-    inner: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+    inner: Arc<Mutex<StoreInner>>,
 }
 
 impl CheckpointStore {
@@ -229,10 +557,10 @@ impl CheckpointStore {
 
     /// Atomically store (replace) a named image.
     pub fn put(&self, name: &str, bytes: Vec<u8>) {
-        self.inner
-            .lock()
-            .expect("checkpoint store lock")
-            .insert(name.to_owned(), bytes);
+        let mut inner = self.inner.lock().expect("checkpoint store lock");
+        inner.generation += 1;
+        inner.fingerprints.remove(name);
+        inner.images.insert(name.to_owned(), bytes);
     }
 
     /// Fetch a named image.
@@ -240,12 +568,74 @@ impl CheckpointStore {
         self.inner
             .lock()
             .expect("checkpoint store lock")
+            .images
             .get(name)
             .cloned()
     }
 
+    /// Whether an image is stored under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("checkpoint store lock")
+            .images
+            .contains_key(name)
+    }
+
+    /// The [`mojave_wire::fingerprint`] of the named image's heap payload,
+    /// or `None` if the name is absent or undecodable.  Cached until the
+    /// name is rewritten; this is the sink-side half of delta-base
+    /// negotiation ([`MigrationSink::has_base`]).
+    pub fn heap_fingerprint(&self, name: &str) -> Option<u64> {
+        let (bytes, generation) = {
+            let inner = self.inner.lock().expect("checkpoint store lock");
+            if let Some(cached) = inner.fingerprints.get(name) {
+                return Some(*cached);
+            }
+            (inner.images.get(name)?.clone(), inner.generation)
+        };
+        // Hash outside the lock — images can be megabytes.
+        let fingerprint = heap_payload_fingerprint(&bytes)?;
+        let mut inner = self.inner.lock().expect("checkpoint store lock");
+        // Cache only if no write raced the computation: a concurrent put()
+        // must not leave a stale fingerprint pinned under the new content.
+        if inner.generation == generation {
+            inner.fingerprints.insert(name.to_owned(), fingerprint);
+        }
+        Some(fingerprint)
+    }
+
     /// Load and decode a named image.
+    ///
+    /// Delta checkpoints are resolved transparently: the base image is
+    /// fetched from this store and the delta applied, so callers always
+    /// receive a self-contained full image.  A missing or itself-delta
+    /// base is an error (the writer only deltas against full images it
+    /// stored here).
+    ///
+    /// Resolution materialises the merged heap back into image bytes that
+    /// the caller typically decodes once more (`Process::from_image`) —
+    /// one redundant codec round trip, accepted deliberately: loads happen
+    /// on the rare resume/recovery path, and "load returns a
+    /// self-contained image" keeps every consumer delta-oblivious.
     pub fn load(&self, name: &str) -> Result<MigrationImage, RuntimeError> {
+        let image = self.load_raw(name)?;
+        match image.heap_image.base() {
+            None => Ok(image),
+            Some(base_name) => {
+                let base = self.load_raw(base_name).map_err(|e| {
+                    RuntimeError::MigrationRejected(format!(
+                        "checkpoint `{name}` is a delta but its base `{base_name}` \
+                         is unusable: {e}"
+                    ))
+                })?;
+                image.resolve_delta(&base)
+            }
+        }
+    }
+
+    /// Load and decode a named image without resolving delta payloads.
+    pub fn load_raw(&self, name: &str) -> Result<MigrationImage, RuntimeError> {
         let bytes = self.get(name).ok_or_else(|| {
             RuntimeError::MigrationRejected(format!("no checkpoint named `{name}`"))
         })?;
@@ -258,6 +648,7 @@ impl CheckpointStore {
             .inner
             .lock()
             .expect("checkpoint store lock")
+            .images
             .keys()
             .cloned()
             .collect();
@@ -267,7 +658,11 @@ impl CheckpointStore {
 
     /// Number of stored images.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("checkpoint store lock").len()
+        self.inner
+            .lock()
+            .expect("checkpoint store lock")
+            .images
+            .len()
     }
 
     /// Whether the store is empty.
@@ -277,12 +672,40 @@ impl CheckpointStore {
 
     /// Remove a named image, returning whether it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.inner
-            .lock()
-            .expect("checkpoint store lock")
-            .remove(name)
-            .is_some()
+        let mut inner = self.inner.lock().expect("checkpoint store lock");
+        inner.generation += 1;
+        inner.fingerprints.remove(name);
+        inner.images.remove(name).is_some()
     }
+}
+
+/// Fingerprint an encoded image's heap payload without decoding the whole
+/// image: for v2 (framed) images the code section is skipped zero-copy and
+/// only the heap section's payload is hashed; v1 images fall back to a full
+/// decode.  Returns `None` for undecodable bytes.
+fn heap_payload_fingerprint(bytes: &[u8]) -> Option<u64> {
+    let mut r = WireReader::new(bytes);
+    let header = r.read_header().ok()?;
+    if header.version <= MIN_SUPPORTED_VERSION {
+        return Some(
+            MigrationImage::from_bytes(bytes)
+                .ok()?
+                .heap_image
+                .fingerprint(),
+        );
+    }
+    let _code = r.read_framed().ok()?; // skipped without decoding
+    let mut heap_section = r.read_framed().ok()?;
+    let payload = match heap_section.tag() {
+        SectionTag::HeapBlocks => heap_section.read_bytes().ok()?,
+        SectionTag::HeapDelta => {
+            heap_section.read_str().ok()?;
+            heap_section.read_u64().ok()?;
+            heap_section.read_bytes().ok()?
+        }
+        _ => return None,
+    };
+    Some(mojave_wire::fingerprint(payload))
 }
 
 /// The default sink for standalone processes: checkpoints and suspends go to
@@ -327,6 +750,10 @@ impl MigrationSink for InMemorySink {
             ),
         }
     }
+
+    fn has_base(&self, base: &str, base_fingerprint: u64) -> bool {
+        self.store.heap_fingerprint(base) == Some(base_fingerprint)
+    }
 }
 
 #[cfg(test)]
@@ -347,14 +774,27 @@ mod tests {
         heap.encode_image(&mut w);
 
         MigrationImage {
+            format_version: FORMAT_VERSION,
             source_arch: "ia32-sim".into(),
             code: PackedCode::Fir(program),
-            heap_image: w.into_bytes(),
+            heap_image: HeapImage::Full(w.into_bytes()),
             migrate_env: env,
             resume_fun: Word::Fun(0),
             label: 3,
             open_speculations: 0,
         }
+    }
+
+    /// The same process state in the legacy v1 layout (per-word heap,
+    /// unframed sections) — what a pre-batched runtime would have stored.
+    fn tiny_image_v1() -> MigrationImage {
+        let mut image = tiny_image();
+        let heap = image.decode_heap(HeapConfig::default()).unwrap();
+        let mut w = WireWriter::new();
+        heap.encode_image_legacy(&mut w);
+        image.format_version = MIN_SUPPORTED_VERSION;
+        image.heap_image = HeapImage::Full(w.into_bytes());
+        image
     }
 
     #[test]
@@ -364,6 +804,117 @@ mod tests {
         let back = MigrationImage::from_bytes(&bytes).unwrap();
         assert_eq!(back, image);
         assert_eq!(back.byte_size(), bytes.len());
+    }
+
+    #[test]
+    fn v1_image_roundtrip_and_heap_decode() {
+        let image = tiny_image_v1();
+        let bytes = image.to_bytes();
+        let back = MigrationImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back, image);
+        assert_eq!(back.format_version, MIN_SUPPORTED_VERSION);
+        // Re-serialising a decoded v1 image is byte-faithful.
+        assert_eq!(back.to_bytes(), bytes);
+        let heap = back.decode_heap(HeapConfig::default()).unwrap();
+        assert_eq!(heap.load(back.migrate_env, 0).unwrap(), Word::Int(5));
+    }
+
+    #[test]
+    fn sliced_heap_fingerprint_matches_full_decode() {
+        for image in [tiny_image(), tiny_image_v1()] {
+            let bytes = image.to_bytes();
+            assert_eq!(
+                heap_payload_fingerprint(&bytes),
+                Some(image.heap_image.fingerprint())
+            );
+        }
+        assert_eq!(heap_payload_fingerprint(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn delta_image_roundtrip_and_resolution() {
+        let base = tiny_image();
+        let mut heap = base.decode_heap(HeapConfig::default()).unwrap();
+        heap.mark_clean();
+        let extra = heap.alloc_array(3, Word::Int(8)).unwrap();
+        let mut w = WireWriter::new();
+        heap.encode_delta_image(&mut w);
+        let delta = MigrationImage {
+            heap_image: HeapImage::Delta {
+                base: "ck-base".into(),
+                base_fingerprint: base.heap_image.fingerprint(),
+                bytes: w.into_bytes(),
+            },
+            ..base.clone()
+        };
+
+        // Wire round trip preserves the delta payload.
+        let back = MigrationImage::from_bytes(&delta.to_bytes()).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(back.heap_image.base(), Some("ck-base"));
+
+        // Standalone decode refuses; resolution against the base succeeds.
+        assert!(back.decode_heap(HeapConfig::default()).is_err());
+        let merged = back
+            .decode_heap_with_base(&base, HeapConfig::default())
+            .unwrap();
+        assert_eq!(merged.load(extra, 0).unwrap(), Word::Int(8));
+        assert_eq!(merged.load(base.migrate_env, 0).unwrap(), Word::Int(5));
+
+        let resolved = back.resolve_delta(&base).unwrap();
+        assert!(!resolved.heap_image.is_delta());
+        let heap2 = resolved.decode_heap(HeapConfig::default()).unwrap();
+        assert_eq!(heap2.snapshot(), merged.snapshot());
+    }
+
+    #[test]
+    fn checkpoint_store_resolves_delta_chains_on_load() {
+        let store = CheckpointStore::new();
+        let base = tiny_image();
+        store.put("ck-0", base.to_bytes());
+
+        let mut heap = base.decode_heap(HeapConfig::default()).unwrap();
+        heap.mark_clean();
+        heap.store(base.migrate_env, 0, Word::Int(77)).unwrap();
+        let mut w = WireWriter::new();
+        heap.encode_delta_image(&mut w);
+        let delta = MigrationImage {
+            heap_image: HeapImage::Delta {
+                base: "ck-0".into(),
+                base_fingerprint: base.heap_image.fingerprint(),
+                bytes: w.into_bytes(),
+            },
+            ..base.clone()
+        };
+        store.put("ck-1", delta.to_bytes());
+
+        // load() hands back a self-contained image with the delta applied.
+        let loaded = store.load("ck-1").unwrap();
+        assert!(!loaded.heap_image.is_delta());
+        let merged = loaded.decode_heap(HeapConfig::default()).unwrap();
+        assert_eq!(merged.load(base.migrate_env, 0).unwrap(), Word::Int(77));
+
+        // Overwriting the base name with *different* content is detected by
+        // the fingerprint — resolution errors instead of merging against
+        // the wrong image.
+        let mut other = base.decode_heap(HeapConfig::default()).unwrap();
+        other.store(base.migrate_env, 0, Word::Int(-1)).unwrap();
+        let mut w = WireWriter::new();
+        other.encode_image(&mut w);
+        let overwritten = MigrationImage {
+            heap_image: HeapImage::Full(w.into_bytes()),
+            ..base.clone()
+        };
+        store.put("ck-0", overwritten.to_bytes());
+        assert!(store.load("ck-1").is_err());
+        store.put("ck-0", base.to_bytes());
+        assert!(store.load("ck-1").is_ok());
+
+        // A delta whose base vanished is a precise error, not a panic.
+        assert!(store.remove("ck-0"));
+        assert!(store.load("ck-1").is_err());
+        assert!(store.contains("ck-1"));
+        assert!(!store.contains("ck-0"));
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::backend::{compile_program, BackendKind, BytecodeProgram, Const, Instr
 use crate::error::RuntimeError;
 use crate::externals::{DefaultExternals, ExtCall, Externals};
 use crate::machine::Machine;
-use crate::migrate::{DeliveryOutcome, InMemorySink, MigrationImage, MigrationSink, PackedCode};
+use crate::migrate::{
+    DeliveryOutcome, HeapImage, InMemorySink, MigrationImage, MigrationSink, PackedCode,
+};
 use crate::speculate::SpeculationManager;
 use mojave_fir::{
     typecheck, validate, Atom, Binop, Expr, ExternEnv, FunId, MigrateProtocol, Program, Unop, VarId,
@@ -32,6 +34,22 @@ pub struct ProcessConfig {
     pub binary_migration: bool,
     /// Run the FIR type checker and validator at construction time.
     pub verify: bool,
+    /// Emit incremental (delta) checkpoint images when a base checkpoint is
+    /// available on the sink: only the heap blocks dirtied since the last
+    /// full checkpoint are shipped.  Off by default; `migrate://` and
+    /// `suspend://` images are always full regardless.
+    ///
+    /// Deltas require **rotating checkpoint names** (like the grid's
+    /// `grid-<id>-<step>`): a delta is never written under its own base's
+    /// name, because storing it would replace the image it references — a
+    /// program that checkpoints to one constant name keeps getting full
+    /// images.
+    pub delta_checkpoints: bool,
+    /// With [`ProcessConfig::delta_checkpoints`], force a full checkpoint
+    /// after this many consecutive deltas.  Deltas accumulate every block
+    /// dirtied since the last *full* image, so this bounds both delta size
+    /// growth and the work a loader does resolving a checkpoint.
+    pub max_delta_chain: u32,
 }
 
 impl Default for ProcessConfig {
@@ -43,6 +61,8 @@ impl Default for ProcessConfig {
             machine: Machine::default(),
             binary_migration: false,
             verify: true,
+            delta_checkpoints: false,
+            max_delta_chain: 8,
         }
     }
 }
@@ -78,6 +98,8 @@ pub struct ProcessStats {
     pub rollbacks: u64,
     /// Checkpoints successfully written.
     pub checkpoints: u64,
+    /// Of those, how many were incremental (delta) images.
+    pub delta_checkpoints: u64,
     /// Migration attempts (any protocol).
     pub migration_attempts: u64,
     /// Migration attempts that failed and fell back to local execution.
@@ -127,6 +149,11 @@ pub struct Process {
     /// unpacked image).
     pending: Option<(Word, Vec<Word>)>,
     extern_env: ExternEnv,
+    /// Name and heap-payload fingerprint of the last *full* checkpoint this
+    /// process stored — the base candidate for delta checkpoints.
+    checkpoint_base: Option<(String, u64)>,
+    /// Consecutive delta checkpoints emitted against `checkpoint_base`.
+    deltas_since_full: u32,
 }
 
 impl std::fmt::Debug for Process {
@@ -177,6 +204,8 @@ impl Process {
             stats: ProcessStats::default(),
             pending: Some((entry, Vec::new())),
             extern_env,
+            checkpoint_base: None,
+            deltas_since_full: 0,
         })
     }
 
@@ -240,6 +269,8 @@ impl Process {
             stats: ProcessStats::default(),
             pending: Some((image.resume_fun, args)),
             extern_env,
+            checkpoint_base: None,
+            deltas_since_full: 0,
         })
     }
 
@@ -380,7 +411,28 @@ impl Process {
                     self.stats.migration_attempts += 1;
                     let (protocol, dest) = MigrateProtocol::parse_target(&target)
                         .ok_or_else(|| RuntimeError::BadMigrationTarget(target.clone()))?;
-                    let image = self.pack(label, f, &a)?;
+                    // Base-image negotiation: a checkpoint becomes a delta
+                    // only when deltas are enabled, the chain is not
+                    // exhausted, and the sink still has the base image.
+                    let delta_base = if protocol == MigrateProtocol::Checkpoint
+                        && self.config.delta_checkpoints
+                        && self.deltas_since_full < self.config.max_delta_chain
+                    {
+                        // Never delta against the name being written: the
+                        // store would replace the base with the delta that
+                        // references it.
+                        self.checkpoint_base
+                            .clone()
+                            .filter(|(base, fp)| base != dest && self.sink.has_base(base, *fp))
+                    } else {
+                        None
+                    };
+                    let image = match &delta_base {
+                        Some((base, fingerprint)) => {
+                            self.pack_delta(label, f, &a, base, *fingerprint)?
+                        }
+                        None => self.pack(label, f, &a)?,
+                    };
                     let outcome = self.sink.deliver(protocol, dest, &image);
                     match (protocol, outcome) {
                         (MigrateProtocol::Migrate, DeliveryOutcome::Migrated) => {
@@ -395,6 +447,21 @@ impl Process {
                         }
                         (MigrateProtocol::Checkpoint, DeliveryOutcome::Stored) => {
                             self.stats.checkpoints += 1;
+                            if delta_base.is_some() {
+                                self.stats.delta_checkpoints += 1;
+                                self.deltas_since_full += 1;
+                            } else if self.config.delta_checkpoints {
+                                // The stored full image is the new base:
+                                // dirty tracking restarts (and arms) from
+                                // this state, and the fingerprint pins the
+                                // base content future deltas will be
+                                // resolved against.  With deltas disabled,
+                                // none of this bookkeeping is paid.
+                                self.checkpoint_base =
+                                    Some((dest.to_owned(), image.heap_image.fingerprint()));
+                                self.deltas_since_full = 0;
+                                self.heap.mark_clean();
+                            }
                             fun = f;
                             args = a;
                         }
@@ -454,6 +521,41 @@ impl Process {
         fun: Word,
         args: &[Word],
     ) -> Result<MigrationImage, RuntimeError> {
+        self.pack_with(label, fun, args, None)
+    }
+
+    /// Like [`Process::pack`], but the heap payload is an incremental delta
+    /// against the full checkpoint named `base` (whose heap payload hashes
+    /// to `base_fingerprint`): only blocks dirtied since the heap was last
+    /// [`mojave_heap::Heap::mark_clean`]ed are encoded.
+    ///
+    /// The caller is responsible for `base` actually being that clean
+    /// point; the checkpoint flow in [`Process::run`] maintains this
+    /// invariant (and negotiates availability via
+    /// [`MigrationSink::has_base`]).
+    pub fn pack_delta(
+        &mut self,
+        label: u32,
+        fun: Word,
+        args: &[Word],
+        base: &str,
+        base_fingerprint: u64,
+    ) -> Result<MigrationImage, RuntimeError> {
+        self.pack_with(label, fun, args, Some((base, base_fingerprint)))
+    }
+
+    fn pack_with(
+        &mut self,
+        label: u32,
+        fun: Word,
+        args: &[Word],
+        delta_base: Option<(&str, u64)>,
+    ) -> Result<MigrationImage, RuntimeError> {
+        if delta_base.is_some() && !self.heap.dirty_tracking_armed() {
+            return Err(RuntimeError::MigrationRejected(
+                "delta pack requested but no full checkpoint established a clean point".into(),
+            ));
+        }
         // "The pack operation first performs garbage collection on the heap."
         let mut roots: Vec<Word> = Vec::with_capacity(args.len() + 8);
         roots.extend_from_slice(args);
@@ -463,8 +565,22 @@ impl Process {
         self.heap.gc_major(&roots);
 
         let migrate_env = self.heap.alloc_migrate_env(args.to_vec())?;
-        let mut w = WireWriter::with_capacity(self.heap.live_bytes() + 256);
-        self.heap.encode_image(&mut w);
+        let heap_image = match delta_base {
+            None => {
+                let mut w = WireWriter::with_capacity(self.heap.live_bytes() + 256);
+                self.heap.encode_image(&mut w);
+                HeapImage::Full(w.into_bytes())
+            }
+            Some((base, base_fingerprint)) => {
+                let mut w = WireWriter::new();
+                self.heap.encode_delta_image(&mut w);
+                HeapImage::Delta {
+                    base: base.to_owned(),
+                    base_fingerprint,
+                    bytes: w.into_bytes(),
+                }
+            }
+        };
 
         let code = if self.config.binary_migration {
             let bytecode = match &self.bytecode {
@@ -492,9 +608,10 @@ impl Process {
         };
 
         Ok(MigrationImage {
+            format_version: mojave_wire::FORMAT_VERSION,
             source_arch: self.config.machine.arch().to_owned(),
             code,
-            heap_image: w.into_bytes(),
+            heap_image,
             migrate_env,
             resume_fun: fun,
             label,

@@ -356,6 +356,84 @@ fn checkpoint_and_resume_from_image() {
     assert_eq!(resumed.run().unwrap(), RunOutcome::Exit(15));
 }
 
+/// With `delta_checkpoints` enabled, a checkpoint-per-iteration loop emits
+/// one full image, deltas while the chain allows, and renegotiates a full
+/// base when the chain is exhausted; every stored checkpoint resumes to the
+/// same answer.
+#[test]
+fn delta_checkpoints_chain_and_resume() {
+    // loop(i, acc): if i >= 6 halt acc
+    //               else checkpoint("ck-<i>"), continue with (i+1, acc+i)
+    let mut pb = ProgramBuilder::new();
+    let (looper, params) = pb.declare("loop", &[("i", Ty::Int), ("acc", Ty::Int)]);
+    let i = params[0];
+    let acc = params[1];
+    let label = pb.label();
+    let mut b = pb.block();
+    let done = b.binop("done", Binop::Ge, i, Atom::Int(6));
+    let next_i = b.binop("next_i", Binop::Add, i, Atom::Int(1));
+    let next_acc = b.binop("next_acc", Binop::Add, acc, i);
+    let istr = b.ext("istr", Ty::Str, "int_to_str", vec![Atom::Var(i)]);
+    let name = b.ext(
+        "name",
+        Ty::Str,
+        "str_concat",
+        vec![Atom::Str("checkpoint://ck-".into()), Atom::Var(istr)],
+    );
+    let body = b.finish(term::branch(
+        done,
+        term::halt(acc),
+        term::migrate(
+            label,
+            Atom::Var(name),
+            looper,
+            vec![Atom::Var(next_i), Atom::Var(next_acc)],
+        ),
+    ));
+    pb.define(looper, body);
+    let (main, _) = pb.declare("main", &[]);
+    pb.define(main, term::call(looper, vec![Atom::Int(0), Atom::Int(0)]));
+    pb.set_entry(main);
+    let program = pb.finish();
+
+    let store = CheckpointStore::new();
+    let mut p = Process::new(
+        program,
+        ProcessConfig {
+            delta_checkpoints: true,
+            max_delta_chain: 3,
+            ..config(BackendKind::Bytecode)
+        },
+    )
+    .unwrap()
+    .with_sink(Box::new(InMemorySink::with_store(store.clone())));
+    assert_eq!(p.run().unwrap(), RunOutcome::Exit(15));
+    assert_eq!(p.stats().checkpoints, 6);
+    // ck-0 full, ck-1..ck-3 delta (chain limit 3), ck-4 full again, ck-5
+    // delta against ck-4.
+    assert_eq!(p.stats().delta_checkpoints, 4);
+    for (name, delta) in [(0, false), (1, true), (3, true), (4, false), (5, true)] {
+        let raw = store.load_raw(&format!("ck-{name}")).unwrap();
+        assert_eq!(raw.heap_image.is_delta(), delta, "ck-{name}");
+    }
+    assert_eq!(
+        store.load_raw("ck-5").unwrap().heap_image.base(),
+        Some("ck-4")
+    );
+
+    // Every checkpoint — full or delta — resumes to the same answer, on
+    // both back-ends.
+    for name in ["ck-0", "ck-3", "ck-5"] {
+        let image = store.load(name).unwrap();
+        assert!(!image.heap_image.is_delta(), "load() resolves deltas");
+        let mut resumed = Process::from_image(image, config(BackendKind::Bytecode)).unwrap();
+        assert_eq!(resumed.run().unwrap(), RunOutcome::Exit(15), "{name}");
+        let image = store.load(name).unwrap();
+        let mut resumed = Process::from_image(image, config(BackendKind::Interp)).unwrap();
+        assert_eq!(resumed.run().unwrap(), RunOutcome::Exit(15), "{name}");
+    }
+}
+
 #[test]
 fn suspend_terminates_and_resumes() {
     let mut pb = ProgramBuilder::new();

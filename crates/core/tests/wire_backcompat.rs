@@ -1,0 +1,245 @@
+//! Wire-format back-compat: images written in the **v1 layout** (format
+//! version 3 — unframed sections, per-word heap blocks) must keep decoding
+//! byte-for-byte, and corrupted **v2** images must fail with precise
+//! [`WireError`]s rather than panics or silent misreads.
+//!
+//! The v1 fixture below is assembled by hand from wire primitives — it does
+//! not go through `MigrationImage::to_bytes`, so it pins the *layout*, not
+//! whatever the current encoder happens to produce.
+
+use mojave_core::{CheckpointStore, HeapImage, MigrationImage, Process, ProcessConfig, RunOutcome};
+use mojave_fir::builder::{term, ProgramBuilder};
+use mojave_fir::Program;
+use mojave_heap::{HeapConfig, Word};
+use mojave_wire::{
+    SectionTag, WireCodec, WireError, WireWriter, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION,
+};
+
+/// The program every fixture carries: `main()` (fun 0, the entry) plus the
+/// resume continuation `after(x) { halt x }` (fun 1) — resuming with the
+/// single migrate-env word halts with that value.
+fn fixture_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let (main, _) = pb.declare("main", &[]);
+    pb.define(main, term::halt(0));
+    let (after, params) = pb.declare("after", &[("x", mojave_fir::Ty::Int)]);
+    pb.define(after, term::halt(params[0]));
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// Hand-write a v1 (format version 3) checkpoint image, byte by byte:
+///
+/// ```text
+/// Header        tag 0x01, magic, version=3, arch string
+/// FirProgram    tag 0x02, program encoding (codec unchanged since v1)
+/// HeapBlocks    tag 0x04, length-prefixed legacy heap image:
+///                 capacity=1, used=1,
+///                 idx=0, block{index=0, kind=MigrateEnv, words=[Int 5]}
+/// MigrateEnv    tag 0x06, ptr 0
+/// Resume        tag 0x07, Word::Fun(0), label 3
+/// Speculation   tag 0x09, 0 open levels
+/// ```
+fn golden_v1_image_bytes() -> Vec<u8> {
+    let mut w = WireWriter::new();
+
+    // Header, version 3 (the v1 layout's version constant).
+    w.write_u8(SectionTag::Header as u8);
+    w.write_u32(MAGIC);
+    w.write_u32(3);
+    w.write_str("ia32-sim");
+
+    // Code section: bare tag, no frame length.
+    w.write_u8(SectionTag::FirProgram as u8);
+    fixture_program().encode(&mut w);
+
+    // Heap section: bare tag + length-prefixed legacy heap bytes.
+    let mut heap = WireWriter::new();
+    heap.write_usize(1); // pointer-table capacity
+    heap.write_usize(1); // one used entry
+    heap.write_uvarint(0); // table index 0
+    heap.write_uvarint(0); // block header back-reference (same index)
+    heap.write_u8(5); // BlockKind::MigrateEnv (position in BlockKind::ALL)
+    heap.write_u8(0); // per-word payload marker
+    heap.write_uvarint(1); // one word
+    heap.write_u8(1); // Word::Int tag
+    heap.write_ivarint(5); // the value
+    w.write_u8(SectionTag::HeapBlocks as u8);
+    w.write_bytes(heap.as_bytes());
+
+    w.write_u8(SectionTag::MigrateEnv as u8);
+    w.write_uvarint(0); // migrate_env pointer index
+
+    w.write_u8(SectionTag::Resume as u8);
+    w.write_u8(6); // Word::Fun tag
+    w.write_uvarint(1); // function 1: `after`
+    w.write_uvarint(3); // migration label
+
+    w.write_u8(SectionTag::Speculation as u8);
+    w.write_uvarint(0); // no open speculation levels
+
+    w.into_bytes()
+}
+
+#[test]
+fn golden_v1_image_still_decodes() {
+    let bytes = golden_v1_image_bytes();
+    let image = MigrationImage::from_bytes(&bytes).expect("v1 image decodes");
+    assert_eq!(image.format_version, MIN_SUPPORTED_VERSION);
+    assert_eq!(image.source_arch, "ia32-sim");
+    assert_eq!(image.label, 3);
+    assert_eq!(image.resume_fun, Word::Fun(1));
+    assert!(!image.heap_image.is_delta());
+
+    let heap = image
+        .decode_heap(HeapConfig::default())
+        .expect("v1 heap decodes");
+    assert_eq!(heap.load(image.migrate_env, 0).unwrap(), Word::Int(5));
+
+    // Round trip is byte-faithful: re-encoding a decoded v1 image
+    // reproduces the fixture exactly.
+    assert_eq!(image.to_bytes(), bytes);
+}
+
+#[test]
+fn golden_v1_image_resumes_execution() {
+    let store = CheckpointStore::new();
+    store.put("legacy-ck", golden_v1_image_bytes());
+    let image = store.load("legacy-ck").unwrap();
+    let mut process = Process::from_image(image, ProcessConfig::default()).unwrap();
+    assert_eq!(process.run().unwrap(), RunOutcome::Exit(5));
+}
+
+/// A freshly packed (v2) image for the corruption tests.
+fn packed_v2_image() -> MigrationImage {
+    let mut process = Process::new(fixture_program(), ProcessConfig::default()).unwrap();
+    process.pack(3, Word::Fun(1), &[Word::Int(5)]).unwrap()
+}
+
+#[test]
+fn v2_images_use_the_current_version_and_roundtrip() {
+    let image = packed_v2_image();
+    assert_eq!(image.format_version, FORMAT_VERSION);
+    let bytes = image.to_bytes();
+    let back = MigrationImage::from_bytes(&bytes).unwrap();
+    assert_eq!(back, image);
+    assert_eq!(back.to_bytes(), bytes);
+}
+
+#[test]
+fn truncated_v2_image_reports_unexpected_eof() {
+    let bytes = packed_v2_image().to_bytes();
+    // Cut inside the last framed section's body.
+    let err = MigrationImage::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+    assert!(
+        matches!(err, WireError::UnexpectedEof { .. }),
+        "got {err:?}"
+    );
+    // Cut in the middle of the image: the then-current section frame
+    // claims more bytes than remain.
+    let err = MigrationImage::from_bytes(&bytes[..bytes.len() / 2]).unwrap_err();
+    assert!(
+        matches!(err, WireError::UnexpectedEof { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn corrupted_v2_section_reports_precise_errors() {
+    let image = packed_v2_image();
+    let bytes = image.to_bytes();
+
+    // Clobber the first framed section's tag byte (right after the
+    // header): unknown tags are a BadTag with the section-frame context.
+    let header_len = {
+        let mut w = WireWriter::new();
+        w.write_header("ia32-sim");
+        w.len()
+    };
+    let mut corrupt = bytes.clone();
+    corrupt[header_len] = 0xEE;
+    let err = MigrationImage::from_bytes(&corrupt).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            WireError::BadTag {
+                context: "section frame",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+
+    // Swap it for a *known but out-of-place* tag instead: SectionMismatch.
+    let mut corrupt = bytes.clone();
+    corrupt[header_len] = SectionTag::Speculation as u8;
+    let err = MigrationImage::from_bytes(&corrupt).unwrap_err();
+    assert!(
+        matches!(err, WireError::SectionMismatch { .. }),
+        "got {err:?}"
+    );
+
+    // Inflate a section length so the frame overruns the buffer.
+    let mut corrupt = bytes.clone();
+    corrupt[header_len + 4] = 0xFF; // high byte of the u32 frame length
+    let err = MigrationImage::from_bytes(&corrupt).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            WireError::UnexpectedEof {
+                context: "section body",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+
+    // Bad magic and unsupported version still fail first.
+    let mut corrupt = bytes.clone();
+    corrupt[1] ^= 0xFF;
+    assert!(matches!(
+        MigrationImage::from_bytes(&corrupt).unwrap_err(),
+        WireError::BadMagic { .. }
+    ));
+    let mut corrupt = bytes;
+    corrupt[5] = 0xFF; // version field
+    assert!(matches!(
+        MigrationImage::from_bytes(&corrupt).unwrap_err(),
+        WireError::VersionMismatch { .. }
+    ));
+}
+
+#[test]
+fn delta_with_corrupted_payload_is_rejected() {
+    let image = packed_v2_image();
+    let HeapImage::Full(full_bytes) = &image.heap_image else {
+        panic!("packed image is full");
+    };
+    // A "delta" whose bytes are actually a full image: even with a correct
+    // base fingerprint, the block-count or trailing-bytes check must catch
+    // it — never a panic.
+    let bogus = MigrationImage {
+        heap_image: HeapImage::Delta {
+            base: "ck".into(),
+            base_fingerprint: image.heap_image.fingerprint(),
+            bytes: full_bytes.clone(),
+        },
+        ..image.clone()
+    };
+    assert!(bogus
+        .decode_heap_with_base(&image, HeapConfig::default())
+        .is_err());
+
+    // And a stale fingerprint is itself a rejection, before any merging.
+    let stale = MigrationImage {
+        heap_image: HeapImage::Delta {
+            base: "ck".into(),
+            base_fingerprint: 0xDEAD_BEEF,
+            bytes: vec![0, 0, 0],
+        },
+        ..image.clone()
+    };
+    assert!(stale
+        .decode_heap_with_base(&image, HeapConfig::default())
+        .is_err());
+}

@@ -26,10 +26,10 @@
 //!   point,
 //! * [`builder`] — an ergonomic builder used by the MojaveC front end, the
 //!   examples and the test suites,
-//! * [`typecheck`] — the FIR type checker (run before execution, and run
+//! * [`fn@typecheck`] — the FIR type checker (run before execution, and run
 //!   *again* by the migration server on every inbound image — this is the
 //!   paper's safety argument for migration across untrusted networks),
-//! * [`validate`] — structural well-formedness checks,
+//! * [`fn@validate`] — structural well-formedness checks,
 //! * [`display`] — a stable pretty-printer,
 //! * [`wire`] — canonical serialisation used by migration and checkpoints.
 

@@ -72,7 +72,7 @@ impl Program {
     /// The entry function definition.
     ///
     /// # Panics
-    /// Panics if the entry id is dangling; [`crate::validate`] rejects such
+    /// Panics if the entry id is dangling; [`crate::validate()`] rejects such
     /// programs before they reach the runtime.
     pub fn entry_fun(&self) -> &FunDef {
         self.fun(self.entry).expect("entry function exists")

@@ -1,6 +1,6 @@
 //! Structural well-formedness checks.
 //!
-//! [`validate`] catches problems that are not type errors but would still
+//! [`fn@validate`] catches problems that are not type errors but would still
 //! break the runtime or the migration protocol: dangling function ids,
 //! duplicate migration labels (labels must uniquely identify a resume point),
 //! and duplicate parameter variables.

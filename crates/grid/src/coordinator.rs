@@ -35,6 +35,9 @@ pub struct GridReport {
     pub rollbacks: u64,
     /// Total checkpoints written.
     pub checkpoints: u64,
+    /// Of those, how many were incremental (delta) images rather than full
+    /// heap encodings.
+    pub delta_checkpoints: u64,
     /// Total speculation entries.
     pub speculations: u64,
     /// Wall-clock duration of the distributed phase.
@@ -125,6 +128,10 @@ fn spawn_worker(
         let config = ProcessConfig {
             machine: mojave_core::Machine::new(cluster.arch(worker)),
             step_budget: Some(500_000_000),
+            // Periodic checkpoints of a stencil worker are the delta
+            // pipeline's home turf: between checkpoints only the field rows
+            // and loop state mutate, so deltas stay small.
+            delta_checkpoints: true,
             ..ProcessConfig::default()
         };
         let result = Process::new(program, config).map(|p| {
@@ -182,6 +189,7 @@ fn resurrect(
         let config = ProcessConfig {
             machine: mojave_core::Machine::new(cluster.arch(worker)),
             step_budget: Some(500_000_000),
+            delta_checkpoints: true,
             ..ProcessConfig::default()
         };
         let result = Process::from_image(image, config).map(|p| {
@@ -245,6 +253,7 @@ pub fn run_grid(
     let mut checksums = vec![f64::NAN; config.workers];
     let mut rollbacks = 0u64;
     let mut checkpoints = 0u64;
+    let mut delta_checkpoints = 0u64;
     let mut speculations = 0u64;
     let mut finished = 0usize;
     let mut recovered = false;
@@ -255,6 +264,7 @@ pub fn run_grid(
             .expect("worker threads report within the deadline");
         rollbacks += result.stats.rollbacks;
         checkpoints += result.stats.checkpoints;
+        delta_checkpoints += result.stats.delta_checkpoints;
         speculations += result.stats.speculations;
         match result.outcome {
             Ok(RunOutcome::Exit(code)) => {
@@ -291,6 +301,7 @@ pub fn run_grid(
         recovered_from_failure: recovered,
         rollbacks,
         checkpoints,
+        delta_checkpoints,
         speculations,
         wall_time: start.elapsed(),
         network_bytes: cluster.bytes_transferred(),
@@ -320,6 +331,9 @@ mod tests {
         assert!(!report.recovered_from_failure);
         // Every worker checkpoints timesteps / interval times.
         assert_eq!(report.checkpoints, (3 * 12 / 4) as u64);
+        // Each worker's first checkpoint is full; the rest ride the delta
+        // pipeline against it.
+        assert_eq!(report.delta_checkpoints, report.checkpoints - 3);
         assert!(report.speculations >= report.checkpoints);
         assert!(report.network_bytes > 0);
     }

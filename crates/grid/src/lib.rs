@@ -22,7 +22,23 @@
 //! The [`coordinator`] launches one worker process per cluster node, can
 //! inject a node failure mid-run, resurrects the failed worker from its most
 //! recent checkpoint (the paper's migration daemon + resurrection daemon),
-//! and verifies the final field against the sequential [`reference`] solver.
+//! and verifies the final field against the sequential [`mod@reference`]
+//! solver.
+//! Workers checkpoint through the incremental delta pipeline: the first
+//! image per worker is full, subsequent ones ship only the dirtied field
+//! rows and loop state.
+//!
+//! ```
+//! use mojave_grid::{reference_checksums, worker_source, GridConfig};
+//!
+//! let config = GridConfig { workers: 2, rows_per_worker: 3, cols: 4, timesteps: 2,
+//!                           checkpoint_interval: 2 };
+//! assert_eq!(config.total_rows(), 6);
+//! // The sequential reference yields one checksum per worker's row block…
+//! assert_eq!(reference_checksums(&config).len(), 2);
+//! // …and the generated MojaveC worker uses the Figure-2 speculation loop.
+//! assert!(worker_source(&config).contains("speculate"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -65,6 +65,19 @@ pub struct Heap {
     pub(crate) live_bytes: usize,
     /// Bytes allocated into the young generation since the last collection.
     pub(crate) young_bytes: usize,
+    /// Whether dirty tracking is armed.  Off until the first
+    /// [`Heap::mark_clean`], so heaps that never take delta checkpoints
+    /// pay one branch per store instead of a hash insert.
+    pub(crate) tracking: bool,
+    /// Pointer indices whose block content may have diverged from the last
+    /// clean point ([`Heap::mark_clean`]): every allocation and every
+    /// successful mutation inserts here.  Rollbacks keep entries even when
+    /// they restore the original content — the set is a conservative
+    /// over-approximation, which keeps delta images correct.
+    pub(crate) dirty: HashSet<PtrIdx>,
+    /// Pointer indices freed since the last clean point and not since
+    /// reallocated — the pointer-table fixups a delta image must ship.
+    pub(crate) freed_since_clean: HashSet<PtrIdx>,
 }
 
 impl Heap {
@@ -166,6 +179,10 @@ impl Heap {
         self.young_bytes += size;
         self.stats.blocks_allocated += 1;
         self.stats.bytes_allocated += size as u64;
+        if self.tracking {
+            self.dirty.insert(idx);
+            self.freed_since_clean.remove(&idx);
+        }
         if let Some(top) = self.spec_levels.last_mut() {
             top.note_allocation(idx);
         }
@@ -277,6 +294,7 @@ impl Heap {
             }
         }
         self.cow_before_write(ptr)?;
+        self.note_mutated(ptr);
         let slot = self.slot_of(ptr)?;
         let is_old = {
             let block = self.block_mut_unchecked(slot);
@@ -343,6 +361,7 @@ impl Heap {
     ) -> Result<(), HeapError> {
         let off = self.check_raw_access(ptr, offset, width, true)?;
         self.cow_before_write(ptr)?;
+        self.note_mutated(ptr);
         let slot = self.slot_of(ptr)?;
         let block = self.block_mut_unchecked(slot);
         match &mut block.data {
@@ -390,6 +409,7 @@ impl Heap {
             }
         }
         self.cow_before_write(dst)?;
+        self.note_mutated(dst);
         let slot = self.slot_of(dst)?;
         match &mut self.block_mut_unchecked(slot).data {
             BlockData::Bytes(bytes) => bytes[..len].copy_from_slice(&data),
@@ -505,6 +525,10 @@ impl Heap {
                         self.discard_slot(cur_slot);
                     }
                     self.table.relocate(*ptr, *orig_slot);
+                    // The restore changes the block's visible content, so it
+                    // diverges from any clean point declared while the level
+                    // was open.
+                    self.note_mutated(*ptr);
                 }
             }
             // Blocks allocated inside the aborted level never existed as far
@@ -512,6 +536,7 @@ impl Heap {
             for ptr in &record.allocated {
                 if let Some(slot) = self.table.free(*ptr) {
                     self.discard_slot(slot);
+                    self.note_freed(*ptr);
                 }
             }
         }
@@ -534,8 +559,69 @@ impl Heap {
     pub(crate) fn free_block(&mut self, ptr: PtrIdx) {
         if let Some(slot) = self.table.free(ptr) {
             self.discard_slot(slot);
+            self.note_freed(ptr);
             self.stats.blocks_collected += 1;
         }
+    }
+
+    /// Record that `ptr`'s content may have changed (no-op until tracking
+    /// is armed by the first [`Heap::mark_clean`]).
+    fn note_mutated(&mut self, ptr: PtrIdx) {
+        if self.tracking {
+            self.dirty.insert(ptr);
+        }
+    }
+
+    /// Record that `ptr`'s table entry was released: the index joins the
+    /// delta fixup set and stops being dirty (a freed block has no content
+    /// to ship).
+    fn note_freed(&mut self, ptr: PtrIdx) {
+        if self.tracking {
+            self.dirty.remove(&ptr);
+            self.freed_since_clean.insert(ptr);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty tracking (incremental checkpoint deltas)
+    // ------------------------------------------------------------------
+
+    /// Declare the current heap state *clean*: subsequent mutations,
+    /// allocations and frees are tracked relative to this point, and
+    /// [`Heap::encode_delta_image`] ships exactly that tracked set.
+    ///
+    /// The first call **arms** dirty tracking — before it, mutation paths
+    /// skip the bookkeeping entirely, so heaps that never take delta
+    /// checkpoints pay a single branch per store.
+    ///
+    /// The caller must pair this with durably storing a full image of the
+    /// current state (the delta's base); `mojave-core` does so when a full
+    /// checkpoint is stored.
+    pub fn mark_clean(&mut self) {
+        self.tracking = true;
+        self.dirty.clear();
+        self.freed_since_clean.clear();
+    }
+
+    /// Whether dirty tracking has been armed by a [`Heap::mark_clean`],
+    /// i.e. whether [`Heap::encode_delta_image`] has a clean point to be
+    /// relative to.
+    pub fn dirty_tracking_armed(&self) -> bool {
+        self.tracking
+    }
+
+    /// Number of live blocks whose content may differ from the last clean
+    /// point.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty
+            .iter()
+            .filter(|p| self.table.lookup(**p).is_some())
+            .count()
+    }
+
+    /// Number of pointer indices freed since the last clean point.
+    pub fn freed_count(&self) -> usize {
+        self.freed_since_clean.len()
     }
 
     // ------------------------------------------------------------------
@@ -557,9 +643,23 @@ impl Heap {
     // ------------------------------------------------------------------
 
     /// Serialise the live heap (pointer table and all live blocks) into the
-    /// canonical wire format.  The caller normally garbage-collects first so
-    /// only live data is shipped.
+    /// canonical wire format, using the **batched** v2 block codec (slab
+    /// payloads, one length check per slab).  The caller normally
+    /// garbage-collects first so only live data is shipped.
     pub fn encode_image(&self, w: &mut WireWriter) {
+        self.encode_blocks(w, true);
+    }
+
+    /// Serialise the live heap with the legacy v1 per-word codec.
+    ///
+    /// Kept for two reasons: regenerating v1 fixtures for the back-compat
+    /// tests, and serving as the baseline the `migration` bench compares
+    /// the batched path against.
+    pub fn encode_image_legacy(&self, w: &mut WireWriter) {
+        self.encode_blocks(w, false);
+    }
+
+    fn encode_blocks(&self, w: &mut WireWriter, batched: bool) {
         w.write_usize(self.table.capacity());
         let used: Vec<(PtrIdx, usize)> = self.table.iter_used().collect();
         w.write_usize(used.len());
@@ -568,7 +668,11 @@ impl Heap {
             let block = self.blocks[slot]
                 .as_ref()
                 .expect("used table entry points at a block");
-            block.encode(w);
+            if batched {
+                block.encode_batched(w);
+            } else {
+                block.encode(w);
+            }
         }
     }
 
@@ -577,45 +681,181 @@ impl Heap {
     /// Pointer indices are preserved exactly (heap words contain indices, so
     /// identity must survive the round trip); slots are assigned fresh.
     pub fn decode_image(r: &mut WireReader<'_>, config: HeapConfig) -> Result<Heap, WireError> {
-        let capacity = r.read_usize()?;
+        let (capacity, blocks) = Heap::parse_blocks(r, true)?;
+        Heap::build_from_blocks(capacity, blocks, config)
+    }
+
+    /// Rebuild a heap from a legacy (v1, per-word) image produced before
+    /// the batched pipeline — see [`mojave_wire::MIN_SUPPORTED_VERSION`].
+    pub fn decode_image_legacy(
+        r: &mut WireReader<'_>,
+        config: HeapConfig,
+    ) -> Result<Heap, WireError> {
+        let (capacity, blocks) = Heap::parse_blocks(r, false)?;
+        Heap::build_from_blocks(capacity, blocks, config)
+    }
+
+    /// Serialise only what changed since the last [`Heap::mark_clean`]: the
+    /// dirty live blocks (full content, batched codec) plus the
+    /// pointer-table fixups (freed indices and the current table capacity).
+    ///
+    /// Applying the result to the base image with
+    /// [`Heap::decode_delta_image`] reconstructs exactly the current heap,
+    /// so checkpoint cost is proportional to the data actually mutated, not
+    /// to total heap size.
+    ///
+    /// # Panics
+    /// Panics if dirty tracking was never armed by a [`Heap::mark_clean`]:
+    /// without a clean point there is no base to be relative to, and
+    /// encoding "nothing changed" would silently resolve to stale state.
+    pub fn encode_delta_image(&self, w: &mut WireWriter) {
+        assert!(
+            self.tracking,
+            "encode_delta_image requires a prior mark_clean (no base to delta against)"
+        );
+        w.write_usize(self.table.capacity());
+        // Sort for deterministic images (the sets iterate in hash order).
+        let mut dirty: Vec<PtrIdx> = self
+            .dirty
+            .iter()
+            .copied()
+            .filter(|p| self.table.lookup(*p).is_some())
+            .collect();
+        dirty.sort();
+        w.write_usize(dirty.len());
+        for ptr in dirty {
+            let slot = self.table.lookup(ptr).expect("filtered to live entries");
+            w.write_uvarint(ptr.0 as u64);
+            self.blocks[slot]
+                .as_ref()
+                .expect("used table entry points at a block")
+                .encode_batched(w);
+        }
+        let mut freed: Vec<PtrIdx> = self.freed_since_clean.iter().copied().collect();
+        freed.sort();
+        w.write_usize(freed.len());
+        for ptr in freed {
+            w.write_uvarint(ptr.0 as u64);
+        }
+    }
+
+    /// Rebuild a heap from a base image plus a delta produced by
+    /// [`Heap::encode_delta_image`] against it.
+    ///
+    /// `base_batched` selects the base's block codec (v2 batched images vs.
+    /// legacy v1 bases).  Freed indices unknown to the base are ignored —
+    /// they belong to blocks allocated *and* freed between the two images.
+    pub fn decode_delta_image(
+        base: &mut WireReader<'_>,
+        delta: &mut WireReader<'_>,
+        base_batched: bool,
+        config: HeapConfig,
+    ) -> Result<Heap, WireError> {
+        let (_, mut blocks) = Heap::parse_blocks(base, base_batched)?;
+        let capacity = Heap::check_capacity(delta.read_usize()?)?;
+        let dirty = delta.read_usize()?;
+        let mut seen: HashSet<u32> = HashSet::with_capacity(dirty.min(1 << 16));
+        for _ in 0..dirty {
+            let idx = delta.read_uvarint()? as u32;
+            let block = Block::decode_batched(delta)?;
+            if block.header.index.0 != idx {
+                return Err(WireError::Invalid(format!(
+                    "delta block header index {} does not match record index {idx}",
+                    block.header.index.0
+                )));
+            }
+            // Overwriting a *base* entry is the point of a delta; two delta
+            // records for one index is corruption (order-dependent decode).
+            if !seen.insert(idx) {
+                return Err(WireError::Invalid(format!(
+                    "duplicate pointer index {idx} in delta image"
+                )));
+            }
+            blocks.insert(idx, block);
+        }
+        let freed = delta.read_usize()?;
+        for _ in 0..freed {
+            let idx = delta.read_uvarint()? as u32;
+            blocks.remove(&idx);
+        }
+        Heap::build_from_blocks(capacity, blocks, config)
+    }
+
+    /// Bound the pointer-table capacity an image may declare.  Images come
+    /// from untrusted peers; an absurd capacity must fail fast rather than
+    /// drive the table rebuild loop into gigabytes of allocation (and a
+    /// capacity above `u32::MAX` would silently truncate, decoding every
+    /// block into the void).
+    fn check_capacity(capacity: usize) -> Result<usize, WireError> {
+        /// Far above any real workload (the paper's heaps hold a few
+        /// thousand blocks) and far below address-space exhaustion.
+        const MAX_TABLE_CAPACITY: usize = 1 << 24;
+        if capacity > MAX_TABLE_CAPACITY {
+            return Err(WireError::LengthOverflow {
+                context: "pointer-table capacity",
+                len: capacity as u64,
+            });
+        }
+        Ok(capacity)
+    }
+
+    /// Decode the `(capacity, index → block)` map shared by full and delta
+    /// images, validating index agreement and rejecting duplicates.
+    fn parse_blocks(
+        r: &mut WireReader<'_>,
+        batched: bool,
+    ) -> Result<(usize, HashMap<u32, Block>), WireError> {
+        let capacity = Heap::check_capacity(r.read_usize()?)?;
         let used = r.read_usize()?;
         if used > capacity {
             return Err(WireError::Invalid(format!(
                 "heap image claims {used} used entries but a table of {capacity}"
             )));
         }
-        let mut heap = Heap::with_config(config);
-        // Pre-size the table with free entries so indices can be restored at
-        // their original positions.
-        let mut slot_for_index: HashMap<u32, Block> = HashMap::with_capacity(used);
-        let mut max_index = 0u32;
+        let mut blocks: HashMap<u32, Block> = HashMap::with_capacity(used.min(1 << 16));
         for _ in 0..used {
             let idx = r.read_uvarint()? as u32;
-            let block = Block::decode(r)?;
+            let block = if batched {
+                Block::decode_batched(r)?
+            } else {
+                Block::decode(r)?
+            };
             if block.header.index.0 != idx {
                 return Err(WireError::Invalid(format!(
                     "block header index {} does not match table index {idx}",
                     block.header.index.0
                 )));
             }
-            max_index = max_index.max(idx);
-            if slot_for_index.insert(idx, block).is_some() {
+            if blocks.insert(idx, block).is_some() {
                 return Err(WireError::Invalid(format!(
                     "duplicate pointer index {idx} in heap image"
                 )));
             }
         }
-        if used > 0 && max_index as usize >= capacity {
-            return Err(WireError::Invalid(format!(
-                "pointer index {max_index} exceeds declared table capacity {capacity}"
-            )));
+        Ok((capacity, blocks))
+    }
+
+    /// Materialise a heap whose used pointer indices land exactly where the
+    /// image says: allocate table entries `0..capacity` in order, then free
+    /// the unused ones.  The result starts clean (its own image is its
+    /// base) but with dirty tracking disarmed — a resurrected process only
+    /// starts paying the bookkeeping once it takes a full checkpoint.
+    fn build_from_blocks(
+        capacity: usize,
+        mut blocks: HashMap<u32, Block>,
+        config: HeapConfig,
+    ) -> Result<Heap, WireError> {
+        if let Some(max_index) = blocks.keys().max().copied() {
+            if max_index as usize >= capacity {
+                return Err(WireError::Invalid(format!(
+                    "pointer index {max_index} exceeds declared table capacity {capacity}"
+                )));
+            }
         }
-        // Rebuild: allocate table entries 0..capacity in order, then free the
-        // ones that are not used so that used indices land exactly where the
-        // image says.
+        let mut heap = Heap::with_config(config);
         let mut to_free = Vec::new();
         for i in 0..capacity as u32 {
-            if let Some(block) = slot_for_index.remove(&i) {
+            if let Some(block) = blocks.remove(&i) {
                 let slot = heap.take_slot();
                 let idx = heap.table.allocate(slot);
                 debug_assert_eq!(idx.0, i);
@@ -930,6 +1170,230 @@ mod tests {
         assert_eq!(back.load(t, 2).unwrap(), Word::Float(2.5));
         assert_eq!(back.load(b, 1).unwrap(), Word::Int(1));
         assert_eq!(back.live_blocks(), heap.live_blocks());
+    }
+
+    /// Build a heap with a few blocks, a table hole and cross-references —
+    /// the shape the image codecs must preserve.
+    fn populated_heap() -> (Heap, PtrIdx, PtrIdx, PtrIdx) {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(3, Word::Int(7)).unwrap();
+        let s = heap.alloc_str("hello").unwrap();
+        let t = heap
+            .alloc_tuple(vec![Word::Ptr(a), Word::Ptr(s), Word::Float(2.5)])
+            .unwrap();
+        let tmp = heap.alloc_raw(64).unwrap();
+        heap.free_block(tmp);
+        (heap, a, s, t)
+    }
+
+    #[test]
+    fn legacy_image_roundtrip_still_decodes() {
+        let (heap, a, s, t) = populated_heap();
+        let mut w = WireWriter::new();
+        heap.encode_image_legacy(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = Heap::decode_image_legacy(&mut r, HeapConfig::default()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.load(a, 0).unwrap(), Word::Int(7));
+        assert_eq!(back.str_value(s).unwrap(), "hello");
+        assert_eq!(back.load(t, 1).unwrap(), Word::Ptr(s));
+        assert_eq!(back.live_blocks(), heap.live_blocks());
+    }
+
+    #[test]
+    fn batched_and_legacy_images_decode_to_equal_heaps() {
+        let (heap, ..) = populated_heap();
+        let mut w_batched = WireWriter::new();
+        heap.encode_image(&mut w_batched);
+        let mut w_legacy = WireWriter::new();
+        heap.encode_image_legacy(&mut w_legacy);
+        let b1 = w_batched.into_bytes();
+        let b2 = w_legacy.into_bytes();
+        let h1 = Heap::decode_image(&mut WireReader::new(&b1), HeapConfig::default()).unwrap();
+        let h2 =
+            Heap::decode_image_legacy(&mut WireReader::new(&b2), HeapConfig::default()).unwrap();
+        assert_eq!(h1.snapshot(), h2.snapshot());
+        assert_eq!(h1.snapshot(), heap.snapshot());
+    }
+
+    #[test]
+    fn dirty_tracking_follows_mutations_allocs_and_frees() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(4, Word::Int(0)).unwrap();
+        let b = heap.alloc_raw(16).unwrap();
+        heap.mark_clean();
+        assert_eq!(heap.dirty_count(), 0);
+        assert_eq!(heap.freed_count(), 0);
+
+        heap.store(a, 1, Word::Int(5)).unwrap();
+        heap.store(a, 2, Word::Int(6)).unwrap(); // same block: still one entry
+        assert_eq!(heap.dirty_count(), 1);
+        heap.store_raw(b, 0, 8, 42).unwrap();
+        assert_eq!(heap.dirty_count(), 2);
+
+        let c = heap.alloc_array(2, Word::Int(1)).unwrap();
+        assert_eq!(heap.dirty_count(), 3);
+        heap.free_block(c);
+        // Allocated and freed within the window: no content, no fixup a
+        // base image could know about — but the index is reported freed.
+        assert_eq!(heap.dirty_count(), 2);
+        heap.free_block(a);
+        assert!(heap.freed_count() >= 1);
+        assert_eq!(heap.dirty_count(), 1);
+    }
+
+    #[test]
+    fn delta_image_reconstructs_exact_heap() {
+        let (mut heap, a, _s, t) = populated_heap();
+        let mut base = WireWriter::new();
+        heap.encode_image(&mut base);
+        let base_bytes = base.into_bytes();
+        heap.mark_clean();
+
+        // Mutate: overwrite, allocate, free, re-point.
+        heap.store(a, 0, Word::Int(-9)).unwrap();
+        let fresh = heap.alloc_array(5, Word::Int(3)).unwrap();
+        heap.store(t, 2, Word::Ptr(fresh)).unwrap();
+        heap.free_block(a);
+
+        let mut delta = WireWriter::new();
+        heap.encode_delta_image(&mut delta);
+        let delta_bytes = delta.into_bytes();
+        // The delta is smaller than a full image of the same heap.
+        let mut full = WireWriter::new();
+        heap.encode_image(&mut full);
+        assert!(delta_bytes.len() < full.into_bytes().len() + 16);
+
+        let back = Heap::decode_delta_image(
+            &mut WireReader::new(&base_bytes),
+            &mut WireReader::new(&delta_bytes),
+            true,
+            HeapConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(back.snapshot(), heap.snapshot());
+        assert!(back.load(a, 0).is_err(), "freed block stays freed");
+        assert_eq!(back.load(fresh, 4).unwrap(), Word::Int(3));
+        assert_eq!(back.load(t, 2).unwrap(), Word::Ptr(fresh));
+    }
+
+    #[test]
+    fn delta_after_rollback_ships_restored_blocks() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(2, Word::Int(1)).unwrap();
+        let level = heap.spec_enter();
+        heap.store(a, 0, Word::Int(2)).unwrap();
+
+        // Clean point taken while the speculation is open.
+        let mut base = WireWriter::new();
+        heap.encode_image(&mut base);
+        let base_bytes = base.into_bytes();
+        heap.mark_clean();
+
+        // The rollback reverts `a` — it must re-enter the dirty set or the
+        // delta would silently miss the restored content.
+        heap.spec_rollback(level).unwrap();
+        let mut delta = WireWriter::new();
+        heap.encode_delta_image(&mut delta);
+        let delta_bytes = delta.into_bytes();
+
+        let back = Heap::decode_delta_image(
+            &mut WireReader::new(&base_bytes),
+            &mut WireReader::new(&delta_bytes),
+            true,
+            HeapConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(back.load(a, 0).unwrap(), Word::Int(1));
+        assert_eq!(back.snapshot(), heap.snapshot());
+    }
+
+    #[test]
+    fn empty_delta_is_tiny_and_reconstructs_base() {
+        let (mut heap, ..) = populated_heap();
+        let mut base = WireWriter::new();
+        heap.encode_image(&mut base);
+        let base_bytes = base.into_bytes();
+        heap.mark_clean();
+
+        let mut delta = WireWriter::new();
+        heap.encode_delta_image(&mut delta);
+        let delta_bytes = delta.into_bytes();
+        assert!(delta_bytes.len() <= 8, "no changes → a few header bytes");
+
+        let back = Heap::decode_delta_image(
+            &mut WireReader::new(&base_bytes),
+            &mut WireReader::new(&delta_bytes),
+            true,
+            HeapConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(back.snapshot(), heap.snapshot());
+    }
+
+    #[test]
+    fn image_with_absurd_capacity_rejected_before_allocation() {
+        // Full image claiming a gigantic pointer table.
+        let mut w = WireWriter::new();
+        w.write_usize(1 << 40);
+        w.write_usize(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Heap::decode_image(&mut WireReader::new(&bytes), HeapConfig::default()).unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+
+        // Delta declaring the same against a legitimate base.
+        let (heap, ..) = populated_heap();
+        let mut base = WireWriter::new();
+        heap.encode_image(&mut base);
+        let base_bytes = base.into_bytes();
+        let mut w = WireWriter::new();
+        w.write_usize(1 << 40);
+        w.write_usize(0);
+        w.write_usize(0);
+        let delta_bytes = w.into_bytes();
+        assert!(matches!(
+            Heap::decode_delta_image(
+                &mut WireReader::new(&base_bytes),
+                &mut WireReader::new(&delta_bytes),
+                true,
+                HeapConfig::default(),
+            )
+            .unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn delta_with_duplicate_records_rejected() {
+        let (heap, a, ..) = populated_heap();
+        let mut base = WireWriter::new();
+        heap.encode_image(&mut base);
+        let base_bytes = base.into_bytes();
+
+        // Two dirty records for the same index: order-dependent decode is
+        // corruption, not a tolerated overwrite.
+        let mut w = WireWriter::new();
+        w.write_usize(heap.pointer_table().capacity());
+        w.write_usize(2);
+        for value in [1i64, 2] {
+            w.write_uvarint(a.0 as u64);
+            Block::words(a, BlockKind::Array, vec![Word::Int(value)]).encode_batched(&mut w);
+        }
+        w.write_usize(0);
+        let delta_bytes = w.into_bytes();
+        assert!(matches!(
+            Heap::decode_delta_image(
+                &mut WireReader::new(&base_bytes),
+                &mut WireReader::new(&delta_bytes),
+                true,
+                HeapConfig::default(),
+            )
+            .unwrap_err(),
+            WireError::Invalid(_)
+        ));
     }
 
     #[test]

@@ -26,6 +26,33 @@
 //! The speculation *policy* (which continuation to re-enter, what the
 //! rollback code is) lives in `mojave-core`; this crate owns the heap
 //! *mechanism* so it can be tested and benchmarked in isolation.
+//!
+//! The heap also tracks **per-block dirtiness** for incremental
+//! checkpoints: [`Heap::mark_clean`] declares the current state a base,
+//! and [`Heap::encode_delta_image`] later ships only the blocks mutated,
+//! allocated or freed since — see `docs/WIRE_FORMAT.md` for the image
+//! layouts.
+//!
+//! ```
+//! use mojave_heap::{Heap, HeapConfig, Word};
+//! use mojave_wire::{WireReader, WireWriter};
+//!
+//! let mut heap = Heap::new();
+//! let arr = heap.alloc_array(4, Word::Int(0)).unwrap();
+//!
+//! // Speculative write, rolled back: the heap is restored exactly.
+//! let level = heap.spec_enter();
+//! heap.store(arr, 0, Word::Int(99)).unwrap();
+//! heap.spec_rollback(level).unwrap();
+//! assert_eq!(heap.load(arr, 0).unwrap(), Word::Int(0));
+//!
+//! // The whole heap round-trips through the canonical wire image.
+//! let mut w = WireWriter::new();
+//! heap.encode_image(&mut w);
+//! let bytes = w.into_bytes();
+//! let back = Heap::decode_image(&mut WireReader::new(&bytes), HeapConfig::default()).unwrap();
+//! assert_eq!(back.load(arr, 0).unwrap(), Word::Int(0));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

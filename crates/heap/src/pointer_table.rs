@@ -108,7 +108,7 @@ impl PointerTable {
     ///
     /// This is the check sequence of §4.1.1: "when an index i for a base
     /// pointer is read from the heap, i is checked against the size of the
-    /// pointer table to verify if it is a valid index, then T[i] is read and
+    /// pointer table to verify if it is a valid index, then `T[i]` is read and
     /// checked to ensure it is not a free entry."
     pub fn lookup(&self, idx: PtrIdx) -> Option<usize> {
         match self.entries.get(idx.0 as usize) {

@@ -93,6 +93,55 @@ impl Word {
             _ => self == other,
         }
     }
+
+    /// Fixed-width encoding for the batched slab format: a tag byte plus a
+    /// 64-bit payload.  The tag values match the per-word varint codec so
+    /// the two encodings stay reviewable side by side.
+    pub fn to_raw(self) -> (u8, u64) {
+        match self {
+            Word::Unit => (0, 0),
+            Word::Int(v) => (1, v as u64),
+            Word::Float(v) => (2, v.to_bits()),
+            Word::Bool(v) => (3, u64::from(v)),
+            Word::Char(c) => (4, c as u64),
+            Word::Ptr(p) => (5, p.0 as u64),
+            Word::Fun(i) => (6, i as u64),
+        }
+    }
+
+    /// Decode a `(tag, payload)` pair produced by [`Word::to_raw`],
+    /// rejecting invalid tags and out-of-range payloads (bad bools, invalid
+    /// Unicode scalars, pointer/function indices beyond `u32`).
+    pub fn from_raw(tag: u8, payload: u64) -> Result<Word, WireError> {
+        let bad = |context: &'static str| WireError::BadTag {
+            context,
+            tag: payload,
+        };
+        Ok(match tag {
+            0 => Word::Unit,
+            1 => Word::Int(payload as i64),
+            2 => Word::Float(f64::from_bits(payload)),
+            3 => match payload {
+                0 => Word::Bool(false),
+                1 => Word::Bool(true),
+                _ => return Err(bad("Word::Bool payload")),
+            },
+            4 => {
+                let code = u32::try_from(payload).map_err(|_| bad("Word::Char payload"))?;
+                Word::Char(char::from_u32(code).ok_or_else(|| bad("Word::Char payload"))?)
+            }
+            5 => Word::Ptr(PtrIdx(
+                u32::try_from(payload).map_err(|_| bad("Word::Ptr payload"))?,
+            )),
+            6 => Word::Fun(u32::try_from(payload).map_err(|_| bad("Word::Fun payload"))?),
+            _ => {
+                return Err(WireError::BadTag {
+                    context: "Word tag",
+                    tag: tag as u64,
+                })
+            }
+        })
+    }
 }
 
 impl fmt::Display for Word {
@@ -194,6 +243,34 @@ mod tests {
         let bytes = to_bytes(&words);
         let back: Vec<Word> = from_bytes(&bytes).unwrap();
         assert_eq!(words, back);
+    }
+
+    #[test]
+    fn raw_roundtrip_all_kinds() {
+        let words = [
+            Word::Unit,
+            Word::Int(i64::MIN),
+            Word::Float(f64::NAN),
+            Word::Bool(true),
+            Word::Char('λ'),
+            Word::Ptr(PtrIdx(u32::MAX)),
+            Word::Fun(7),
+        ];
+        for w in words {
+            let (tag, payload) = w.to_raw();
+            let back = Word::from_raw(tag, payload).unwrap();
+            assert!(w.bitwise_eq(&back), "{w:?} -> ({tag}, {payload:#x})");
+        }
+    }
+
+    #[test]
+    fn raw_rejects_invalid_payloads() {
+        assert!(Word::from_raw(3, 2).is_err()); // bad bool
+        assert!(Word::from_raw(4, 0xD800).is_err()); // surrogate char
+        assert!(Word::from_raw(4, u64::MAX).is_err()); // char beyond u32
+        assert!(Word::from_raw(5, u64::MAX).is_err()); // ptr beyond u32
+        assert!(Word::from_raw(6, 1 << 40).is_err()); // fun beyond u32
+        assert!(Word::from_raw(9, 0).is_err()); // unknown tag
     }
 
     #[test]

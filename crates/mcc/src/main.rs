@@ -190,8 +190,15 @@ fn main() -> ExitCode {
             match MigrationImage::from_bytes(&bytes) {
                 Ok(image) => {
                     println!("source architecture : {}", image.source_arch);
+                    println!("format version      : {}", image.format_version);
                     println!("image size          : {} bytes", bytes.len());
-                    println!("heap section        : {} bytes", image.heap_image.len());
+                    match image.heap_image.base() {
+                        None => println!("heap section        : {} bytes", image.heap_image.len()),
+                        Some(base) => println!(
+                            "heap section        : {} bytes (delta against `{base}`)",
+                            image.heap_image.len()
+                        ),
+                    }
                     println!("resume label        : L{}", image.label);
                     println!("open speculations   : {}", image.open_speculations);
                     match &image.code {

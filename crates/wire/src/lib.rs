@@ -21,9 +21,13 @@
 //!   images early and report a precise [`WireError`].
 //!
 //! The format is intentionally *not* self-describing beyond section tags:
-//! the reader must know the schema, which is fine because both ends are the
-//! same runtime version (the migration server rejects mismatched
-//! [`FORMAT_VERSION`]s).
+//! the reader must know the schema.  The image header carries a
+//! [`FORMAT_VERSION`]; decoders accept any version down to
+//! [`MIN_SUPPORTED_VERSION`] and pick the matching layout, so checkpoints
+//! written by older runtimes stay loadable while new images use the
+//! batched v2 layout (framed [`SectionReader`]/[`SectionWriter`] sections,
+//! `write_words`/`read_words_into` slab encoding — see
+//! `docs/WIRE_FORMAT.md`).
 //!
 //! ```
 //! use mojave_wire::{WireWriter, WireReader};
@@ -50,9 +54,25 @@ mod tags;
 mod writer;
 
 pub use error::WireError;
-pub use reader::WireReader;
-pub use tags::{SectionTag, FORMAT_VERSION, MAGIC};
-pub use writer::WireWriter;
+pub use reader::{ImageHeader, SectionReader, WireReader, MAX_REASONABLE_LEN};
+pub use tags::{SectionTag, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION};
+pub use writer::{SectionWriter, WireWriter};
+
+/// 64-bit FNV-1a fingerprint of a byte payload.
+///
+/// Not cryptographic — it exists so a delta image can name its base by
+/// *content* as well as by checkpoint name, catching the case where the
+/// base name was later overwritten with a different image (resolving the
+/// delta against it would silently produce a heap state that never
+/// existed).
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
 
 /// Convenience trait for types that can be encoded onto a [`WireWriter`]
 /// and decoded from a [`WireReader`].

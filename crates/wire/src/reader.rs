@@ -1,13 +1,28 @@
 //! The decode half of the wire format.
 
 use crate::error::WireError;
-use crate::tags::{SectionTag, FORMAT_VERSION, MAGIC};
+use crate::tags::{SectionTag, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION};
+use std::ops::{Deref, DerefMut};
 
 /// Sanity bound on any single length prefix.  Migration images for the
 /// workloads in the paper are a few megabytes; a length prefix claiming more
 /// than this is corruption or an adversarial image and is rejected before we
 /// try to allocate for it.
 pub const MAX_REASONABLE_LEN: u64 = 1 << 32;
+
+/// The decoded image header: format version and source architecture.
+///
+/// Returned by [`WireReader::read_header`], which accepts every version in
+/// the supported range; callers branch on `version` to pick the right
+/// layout (v1 unframed vs. v2 framed sections).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageHeader {
+    /// Format version found in the image (between
+    /// [`MIN_SUPPORTED_VERSION`] and [`FORMAT_VERSION`] inclusive).
+    pub version: u32,
+    /// The architecture tag the packing machine recorded.
+    pub source_arch: String,
+}
 
 /// Cursor-style decoder over a byte slice.
 #[derive(Debug, Clone)]
@@ -153,21 +168,30 @@ impl<'a> WireReader<'a> {
     }
 
     /// Read and validate the standard image header written by
-    /// [`crate::WireWriter::write_header`]; returns the source architecture.
-    pub fn read_header(&mut self) -> Result<String, WireError> {
+    /// [`crate::WireWriter::write_header`].
+    ///
+    /// Any version between [`MIN_SUPPORTED_VERSION`] and [`FORMAT_VERSION`]
+    /// is accepted — decoders use [`ImageHeader::version`] to select the v1
+    /// or v2 layout; anything outside the range is a
+    /// [`WireError::VersionMismatch`].
+    pub fn read_header(&mut self) -> Result<ImageHeader, WireError> {
         self.expect_section(SectionTag::Header)?;
         let magic = self.read_u32()?;
         if magic != MAGIC {
             return Err(WireError::BadMagic { found: magic });
         }
         let version = self.read_u32()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(WireError::VersionMismatch {
                 found: version,
                 expected: FORMAT_VERSION,
             });
         }
-        Ok(self.read_str()?.to_owned())
+        let source_arch = self.read_str()?.to_owned();
+        Ok(ImageHeader {
+            version,
+            source_arch,
+        })
     }
 
     /// Read a section tag and require it to be `expected`.
@@ -181,6 +205,104 @@ impl<'a> WireReader<'a> {
                 found: byte,
             })
         }
+    }
+
+    /// Read a word slab written by [`crate::WireWriter::write_words`],
+    /// appending the decoded words to `out` and returning how many were
+    /// read.
+    ///
+    /// The whole slab is validated with a **single** bounds check (one
+    /// borrowed `&[u8]` view over `8 * len` bytes), so decoding is a tight
+    /// LE load loop instead of a per-element EOF-checked read.
+    pub fn read_words_into(&mut self, out: &mut Vec<u64>) -> Result<usize, WireError> {
+        let len = self.read_len()?;
+        let byte_len = len.checked_mul(8).ok_or(WireError::LengthOverflow {
+            context: "word slab",
+            len: len as u64,
+        })?;
+        let slab = self.take(byte_len, "word slab")?;
+        out.reserve(len);
+        for chunk in slab.chunks_exact(8) {
+            let mut le = [0u8; 8];
+            le.copy_from_slice(chunk);
+            out.push(u64::from_le_bytes(le));
+        }
+        Ok(len)
+    }
+
+    /// Read the next framed section regardless of its tag (v2 image
+    /// layout): tag byte, u32-LE body length, body.  The cursor advances
+    /// past the whole section; the body is returned as a [`SectionReader`]
+    /// borrowing the underlying buffer (zero-copy).
+    pub fn read_framed(&mut self) -> Result<SectionReader<'a>, WireError> {
+        let byte = self.read_u8()?;
+        let tag = SectionTag::from_u8(byte).ok_or(WireError::BadTag {
+            context: "section frame",
+            tag: byte as u64,
+        })?;
+        let len = self.read_u32()? as usize;
+        let body = self.take(len, "section body")?;
+        Ok(SectionReader {
+            tag,
+            body: WireReader::new(body),
+        })
+    }
+
+    /// Read a framed section and require its tag to be `expected`.
+    pub fn expect_framed(&mut self, expected: SectionTag) -> Result<SectionReader<'a>, WireError> {
+        let section = self.read_framed()?;
+        if section.tag() != expected {
+            return Err(WireError::SectionMismatch {
+                expected: expected.name(),
+                found: section.tag() as u8,
+            });
+        }
+        Ok(section)
+    }
+}
+
+/// A framed section's body, produced by [`WireReader::read_framed`] /
+/// [`WireReader::expect_framed`].
+///
+/// Dereferences to [`WireReader`] positioned at the start of the body; the
+/// body is a borrowed view of the parent buffer, so slicing a section out
+/// of a multi-megabyte image copies nothing.  Call
+/// [`SectionReader::finish`] after decoding to assert the body was fully
+/// consumed (trailing bytes inside a section are corruption).
+#[derive(Debug, Clone)]
+pub struct SectionReader<'a> {
+    tag: SectionTag,
+    body: WireReader<'a>,
+}
+
+impl<'a> SectionReader<'a> {
+    /// The section's tag.
+    pub fn tag(&self) -> SectionTag {
+        self.tag
+    }
+
+    /// Assert the body was fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.body.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                remaining: self.body.remaining(),
+            })
+        }
+    }
+}
+
+impl<'a> Deref for SectionReader<'a> {
+    type Target = WireReader<'a>;
+    fn deref(&self) -> &WireReader<'a> {
+        &self.body
+    }
+}
+
+impl<'a> DerefMut for SectionReader<'a> {
+    fn deref_mut(&mut self) -> &mut WireReader<'a> {
+        &mut self.body
     }
 }
 
@@ -238,16 +360,132 @@ mod tests {
 
     #[test]
     fn header_version_mismatch_detected() {
+        for bad in [FORMAT_VERSION + 1, MIN_SUPPORTED_VERSION - 1, 0] {
+            let mut w = WireWriter::new();
+            w.write_section(SectionTag::Header);
+            w.write_u32(MAGIC);
+            w.write_u32(bad);
+            w.write_str("riscv-sim");
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            assert!(
+                matches!(
+                    r.read_header().unwrap_err(),
+                    WireError::VersionMismatch { .. }
+                ),
+                "version {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn header_supported_version_range_accepted() {
+        for version in MIN_SUPPORTED_VERSION..=FORMAT_VERSION {
+            let mut w = WireWriter::new();
+            w.write_header_versioned("ia32-sim", version);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let header = r.read_header().unwrap();
+            assert_eq!(header.version, version);
+            assert_eq!(header.source_arch, "ia32-sim");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn word_slab_roundtrip() {
+        let words: Vec<u64> = (0..1000).map(|i| i * 0x0101_0101_0101).collect();
         let mut w = WireWriter::new();
-        w.write_section(SectionTag::Header);
-        w.write_u32(MAGIC);
-        w.write_u32(FORMAT_VERSION + 1);
-        w.write_str("riscv-sim");
+        w.write_words(&words);
+        // Length varint + exactly 8 bytes per word, no per-element framing.
+        assert_eq!(w.len(), 2 + words.len() * 8);
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes);
+        let mut back = Vec::new();
+        assert_eq!(r.read_words_into(&mut back).unwrap(), words.len());
+        assert_eq!(back, words);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn word_slab_truncation_detected_before_allocation() {
+        let mut w = WireWriter::new();
+        w.write_words(&[1, 2, 3, 4]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes[..bytes.len() - 1]);
+        let mut out = Vec::new();
         assert!(matches!(
-            r.read_header().unwrap_err(),
-            WireError::VersionMismatch { .. }
+            r.read_words_into(&mut out).unwrap_err(),
+            WireError::UnexpectedEof { .. }
+        ));
+        assert!(out.is_empty(), "nothing decoded from a truncated slab");
+    }
+
+    #[test]
+    fn framed_sections_roundtrip_and_skip() {
+        let mut w = WireWriter::new();
+        {
+            let mut s = w.begin_section(SectionTag::PointerTable);
+            s.write_uvarint(42);
+            s.finish();
+        }
+        {
+            let mut s = w.begin_section(SectionTag::HeapBlocks);
+            s.write_bytes(b"payload");
+        } // dropped: length patched without an explicit finish
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes);
+        // Skip the first section without decoding it.
+        let first = r.read_framed().unwrap();
+        assert_eq!(first.tag(), SectionTag::PointerTable);
+        let mut second = r.expect_framed(SectionTag::HeapBlocks).unwrap();
+        assert_eq!(second.read_bytes().unwrap(), b"payload");
+        second.finish().unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn framed_section_errors_are_precise() {
+        let mut w = WireWriter::new();
+        let mut s = w.begin_section(SectionTag::Resume);
+        s.write_uvarint(9);
+        s.finish();
+        let bytes = w.into_bytes();
+
+        // Wrong expected tag.
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.expect_framed(SectionTag::MigrateEnv).unwrap_err(),
+            WireError::SectionMismatch { .. }
+        ));
+        // Truncated body: the frame claims more bytes than remain.
+        let mut r = WireReader::new(&bytes[..bytes.len() - 1]);
+        assert!(matches!(
+            r.read_framed().unwrap_err(),
+            WireError::UnexpectedEof {
+                context: "section body",
+                ..
+            }
+        ));
+        // Unknown tag byte.
+        let mut corrupt = bytes.clone();
+        corrupt[0] = 0xEE;
+        let mut r = WireReader::new(&corrupt);
+        assert!(matches!(
+            r.read_framed().unwrap_err(),
+            WireError::BadTag {
+                context: "section frame",
+                ..
+            }
+        ));
+        // Undersized frame: decoding succeeds but finish() reports trailing
+        // bytes inside the section.
+        let mut r = WireReader::new(&bytes);
+        let section = r.read_framed().unwrap();
+        assert!(matches!(
+            section.finish().unwrap_err(),
+            WireError::TrailingBytes { .. }
         ));
     }
 

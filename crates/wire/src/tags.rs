@@ -6,10 +6,17 @@
 /// handy when inspecting checkpoint files on disk.
 pub const MAGIC: u32 = 0x4556_4A4D;
 
-/// Version of the wire format.  The migration server refuses images whose
-/// version does not match exactly; there is no cross-version compatibility
-/// story (both ends of a migration run the same runtime).
-pub const FORMAT_VERSION: u32 = 3;
+/// Current version of the wire format — the **v2 image layout**: framed,
+/// length-prefixed sections and batched (slab-encoded) heap blocks, with
+/// optional delta-against-base heap payloads.  See `docs/WIRE_FORMAT.md`
+/// for the byte-level specification.
+pub const FORMAT_VERSION: u32 = 4;
+
+/// Oldest format version this runtime still decodes: the **v1 image
+/// layout** (unframed sections, per-word heap encoding).  Encoders only
+/// ever produce [`FORMAT_VERSION`]; v1 support exists so checkpoint images
+/// written before the batched pipeline landed remain loadable.
+pub const MIN_SUPPORTED_VERSION: u32 = 3;
 
 /// Section tags delimit the major regions of a migration image so that a
 /// decoder can fail fast with a precise error instead of misinterpreting
@@ -35,11 +42,14 @@ pub enum SectionTag {
     Bytecode = 0x08,
     /// Speculation-state summary (open levels, for diagnostics only).
     Speculation = 0x09,
+    /// Incremental heap payload: dirty blocks + pointer-table fixups against
+    /// a named base checkpoint (v2 images only).
+    HeapDelta = 0x0A,
 }
 
 impl SectionTag {
     /// All tags, in the order sections appear in an image.
-    pub const ALL: [SectionTag; 9] = [
+    pub const ALL: [SectionTag; 10] = [
         SectionTag::Header,
         SectionTag::FirProgram,
         SectionTag::PointerTable,
@@ -49,6 +59,7 @@ impl SectionTag {
         SectionTag::Resume,
         SectionTag::Bytecode,
         SectionTag::Speculation,
+        SectionTag::HeapDelta,
     ];
 
     /// Human-readable name, used in error messages.
@@ -63,6 +74,7 @@ impl SectionTag {
             SectionTag::Resume => "Resume",
             SectionTag::Bytecode => "Bytecode",
             SectionTag::Speculation => "Speculation",
+            SectionTag::HeapDelta => "HeapDelta",
         }
     }
 

@@ -1,6 +1,7 @@
 //! The encode half of the wire format.
 
 use crate::tags::{SectionTag, FORMAT_VERSION, MAGIC};
+use std::ops::{Deref, DerefMut};
 
 /// Append-only encoder producing the canonical Mojave byte format.
 ///
@@ -28,6 +29,13 @@ impl WireWriter {
     /// Number of bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Pre-grow the buffer for `additional` upcoming bytes, so a burst of
+    /// small writes (e.g. a block's tag and payload slabs) costs at most
+    /// one reallocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     /// Whether nothing has been written yet.
@@ -100,9 +108,31 @@ impl WireWriter {
     }
 
     /// Write a length-prefixed byte slice.
+    ///
+    /// This is the zero-copy slab path for byte payloads: one length prefix
+    /// followed by a single `extend_from_slice` of the whole slab, which the
+    /// reader hands back as a borrowed `&[u8]` view.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         self.write_uvarint(bytes.len() as u64);
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a length-prefixed slab of 64-bit words as one contiguous
+    /// little-endian region.
+    ///
+    /// This is the batched counterpart of calling [`WireWriter::write_u64`]
+    /// in a loop: the buffer is grown once and filled with a tight LE copy
+    /// loop (which compiles down to a memcpy on little-endian hosts), so the
+    /// per-element cost is a plain 8-byte store instead of a `Vec` growth
+    /// check plus a varint encode.  Decode with
+    /// [`crate::WireReader::read_words_into`].
+    pub fn write_words(&mut self, words: &[u64]) {
+        self.write_uvarint(words.len() as u64);
+        let start = self.buf.len();
+        self.buf.resize(start + words.len() * 8, 0);
+        for (chunk, word) in self.buf[start..].chunks_exact_mut(8).zip(words) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
     }
 
     /// Write a length-prefixed UTF-8 string.
@@ -120,15 +150,93 @@ impl WireWriter {
     /// architecture so heterogeneous migration can be observed in logs even
     /// though the heap needs no translation).
     pub fn write_header(&mut self, source_arch: &str) {
+        self.write_header_versioned(source_arch, FORMAT_VERSION);
+    }
+
+    /// Write an image header carrying an explicit format version.
+    ///
+    /// Normal encoders always emit [`FORMAT_VERSION`] via
+    /// [`WireWriter::write_header`]; this entry point exists so back-compat
+    /// tests (and tools regenerating legacy fixtures) can produce v1 images.
+    pub fn write_header_versioned(&mut self, source_arch: &str, version: u32) {
         self.write_section(SectionTag::Header);
         self.write_u32(MAGIC);
-        self.write_u32(FORMAT_VERSION);
+        self.write_u32(version);
         self.write_str(source_arch);
     }
 
     /// Write a section tag byte.
     pub fn write_section(&mut self, tag: SectionTag) {
         self.write_u8(tag as u8);
+    }
+
+    /// Open a framed, length-prefixed section (v2 image layout).
+    ///
+    /// Everything written through the returned [`SectionWriter`] becomes the
+    /// section body; when the guard is finished (or dropped) the byte length
+    /// of the body is patched into the reserved length slot, so readers can
+    /// skip or slice sections without understanding their contents.
+    pub fn begin_section(&mut self, tag: SectionTag) -> SectionWriter<'_> {
+        self.write_section(tag);
+        let len_pos = self.buf.len();
+        self.write_u32(0); // patched by SectionWriter::finish / Drop
+        SectionWriter {
+            writer: self,
+            len_pos,
+        }
+    }
+}
+
+/// Guard for a framed section opened with [`WireWriter::begin_section`].
+///
+/// Dereferences to [`WireWriter`], so every `write_*` method is available on
+/// it; the section's length prefix is patched when the guard is dropped.
+///
+/// ```
+/// use mojave_wire::{SectionTag, WireWriter};
+///
+/// let mut w = WireWriter::new();
+/// let mut s = w.begin_section(SectionTag::Resume);
+/// s.write_uvarint(7);
+/// s.finish();
+/// let mut r = mojave_wire::WireReader::new(w.as_bytes());
+/// let mut body = r.expect_framed(SectionTag::Resume).unwrap();
+/// assert_eq!(body.read_uvarint().unwrap(), 7);
+/// ```
+#[derive(Debug)]
+pub struct SectionWriter<'w> {
+    writer: &'w mut WireWriter,
+    len_pos: usize,
+}
+
+impl SectionWriter<'_> {
+    /// Close the section, patching its length prefix.  Equivalent to
+    /// dropping the guard; provided so the close is visible in the code.
+    pub fn finish(self) {}
+}
+
+impl Drop for SectionWriter<'_> {
+    fn drop(&mut self) {
+        let body_len = self.writer.buf.len() - (self.len_pos + 4);
+        assert!(
+            body_len <= u32::MAX as usize,
+            "section body exceeds the 4 GiB frame limit"
+        );
+        let le = (body_len as u32).to_le_bytes();
+        self.writer.buf[self.len_pos..self.len_pos + 4].copy_from_slice(&le);
+    }
+}
+
+impl Deref for SectionWriter<'_> {
+    type Target = WireWriter;
+    fn deref(&self) -> &WireWriter {
+        self.writer
+    }
+}
+
+impl DerefMut for SectionWriter<'_> {
+    fn deref_mut(&mut self) -> &mut WireWriter {
+        self.writer
     }
 }
 

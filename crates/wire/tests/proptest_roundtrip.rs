@@ -1,7 +1,7 @@
 //! Property tests: every value the writer can produce is decoded back
 //! bit-for-bit, and the decoder never panics on arbitrary byte soup.
 
-use mojave_wire::{from_bytes, to_bytes, WireReader, WireWriter};
+use mojave_wire::{from_bytes, to_bytes, SectionTag, WireReader, WireWriter};
 use proptest::prelude::*;
 
 proptest! {
@@ -87,6 +87,58 @@ proptest! {
         prop_assert!(r.is_empty());
     }
 
+    /// The batched slab path agrees with the per-element path for every
+    /// word sequence and is bit-exact.
+    #[test]
+    fn word_slab_roundtrip(words in proptest::collection::vec(any::<u64>(), 0..2048)) {
+        let mut w = WireWriter::new();
+        w.write_words(&words);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let mut back = Vec::new();
+        prop_assert_eq!(r.read_words_into(&mut back).unwrap(), words.len());
+        prop_assert_eq!(back, words);
+        prop_assert!(r.is_empty());
+    }
+
+    /// Truncating a word slab anywhere is always detected, and never
+    /// decodes partial data.
+    #[test]
+    fn word_slab_truncation_always_detected(
+        words in proptest::collection::vec(any::<u64>(), 1..64),
+        cut_seed in any::<u16>(),
+    ) {
+        let mut w = WireWriter::new();
+        w.write_words(&words);
+        let bytes = w.into_bytes();
+        let cut = cut_seed as usize % (bytes.len() - 1); // strictly shorter
+        let mut r = WireReader::new(&bytes[..cut]);
+        let mut out = Vec::new();
+        prop_assert!(r.read_words_into(&mut out).is_err());
+        prop_assert!(out.is_empty());
+    }
+
+    /// Framed sections round-trip any payload and report their exact tag.
+    #[test]
+    fn framed_section_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        tag_idx in 0usize..SectionTag::ALL.len(),
+    ) {
+        let tag = SectionTag::ALL[tag_idx];
+        let mut w = WireWriter::new();
+        {
+            let mut s = w.begin_section(tag);
+            s.write_bytes(&payload);
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let mut section = r.read_framed().unwrap();
+        prop_assert_eq!(section.tag(), tag);
+        prop_assert_eq!(section.read_bytes().unwrap(), payload.as_slice());
+        section.finish().unwrap();
+        prop_assert!(r.is_empty());
+    }
+
     /// Decoding arbitrary garbage must never panic — the migration server
     /// receives images from untrusted peers.
     #[test]
@@ -97,6 +149,13 @@ proptest! {
         let _ = r.read_str();
         let mut r = WireReader::new(&data);
         let _ = r.read_bytes();
+        let mut r = WireReader::new(&data);
+        let mut out = Vec::new();
+        let _ = r.read_words_into(&mut out);
+        let mut r = WireReader::new(&data);
+        while let Ok(section) = r.read_framed() {
+            let _ = section.finish();
+        }
         let mut r = WireReader::new(&data);
         while r.read_uvarint().is_ok() {}
         let _ = from_bytes::<Vec<u64>>(&data);

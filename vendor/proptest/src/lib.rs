@@ -5,8 +5,8 @@
 //! tests under `crates/wire/tests/` and `crates/heap/tests/` use:
 //!
 //! * the [`proptest!`] macro (`fn name(x in strategy, ...) { body }`),
-//! * [`Strategy`] with `prop_map`, integer-range / tuple / string-pattern
-//!   strategies, [`any`], [`prop_oneof!`] and [`collection::vec`],
+//! * [`strategy::Strategy`] with `prop_map`, integer-range / tuple / string-pattern
+//!   strategies, [`prelude::any`], [`prop_oneof!`] and [`collection::vec`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Generation is driven by a deterministic SplitMix64 stream seeded from the
