@@ -1,0 +1,162 @@
+//! Sharded-cluster message plane: send/recv throughput as the node count
+//! grows, disjoint pairs vs. a single contended shard.
+//!
+//! The point of the sharded refactor is that **disjoint node pairs never
+//! contend**: per-pair throughput should hold (total throughput should
+//! *scale*) as nodes are added, where the old four-global-`Mutex` design
+//! flatlined because every worker serialised on the same mailbox lock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mojave_cluster::{Cluster, ClusterConfig, RecvOutcome};
+use std::thread;
+use std::time::Duration;
+
+/// Messages each pair exchanges per iteration.
+const MSGS_PER_PAIR: u64 = 1_000;
+/// Bounded tag space: re-sends overwrite entries, so the mailbox maps stay
+/// small and the measurement is lock traffic, not map growth.
+const TAG_SPACE: i64 = 64;
+
+/// One thread per pair: node `2i` sends to node `2i+1`, then the same
+/// thread reads every tag back — all pairs run concurrently, each touching
+/// only its own receiver shard.
+fn disjoint_pair_storm(cluster: &Cluster, pairs: usize) {
+    let handles: Vec<_> = (0..pairs)
+        .map(|pair| {
+            let cluster = cluster.clone();
+            thread::spawn(move || {
+                let (from, to) = (2 * pair, 2 * pair + 1);
+                for i in 0..MSGS_PER_PAIR {
+                    cluster.send(from, to, i as i64 % TAG_SPACE, vec![i as f64]);
+                }
+                for tag in 0..TAG_SPACE {
+                    match cluster.recv(to, from, tag) {
+                        RecvOutcome::Data(_) => {}
+                        other => panic!("expected data, got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+/// The same total send volume, but every thread hammers ONE receiver node:
+/// all deliveries serialise on that single shard's lock — the worst case
+/// the sharding exists to confine.
+fn contended_single_shard_storm(cluster: &Cluster, senders: usize) {
+    let target = cluster.num_nodes() - 1;
+    let handles: Vec<_> = (0..senders)
+        .map(|s| {
+            let cluster = cluster.clone();
+            thread::spawn(move || {
+                for i in 0..MSGS_PER_PAIR {
+                    cluster.send(
+                        s,
+                        target,
+                        ((s as i64) << 32) | (i as i64 % TAG_SPACE),
+                        vec![i as f64],
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+/// Disjoint-pair send/recv throughput at 2 / 16 / 64 nodes.  With sharded
+/// state, messages-per-second should **grow** with the pair count instead
+/// of flatlining on a global lock.
+fn disjoint_pairs_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/send_recv_disjoint_pairs");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for nodes in [2usize, 16, 64] {
+        let pairs = nodes / 2;
+        group.throughput(Throughput::Elements(pairs as u64 * MSGS_PER_PAIR));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}_nodes")),
+            &nodes,
+            |b, &nodes| {
+                let cluster = Cluster::new(ClusterConfig::homogeneous(nodes, "ia32-sim"));
+                b.iter(|| disjoint_pair_storm(&cluster, nodes / 2));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The contention counterpoint: the same number of worker threads, but all
+/// landing on one shard.  Comparing against the disjoint group at equal
+/// thread counts shows what the sharding buys.
+fn contended_vs_disjoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/send_contended_vs_disjoint");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for threads in [2usize, 8, 32] {
+        group.throughput(Throughput::Elements(threads as u64 * MSGS_PER_PAIR));
+        group.bench_with_input(
+            BenchmarkId::new("contended_one_shard", format!("{threads}_senders")),
+            &threads,
+            |b, &threads| {
+                let cluster = Cluster::new(ClusterConfig::homogeneous(threads + 1, "ia32-sim"));
+                b.iter(|| contended_single_shard_storm(&cluster, threads));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_pairs", format!("{threads}_senders")),
+            &threads,
+            |b, &threads| {
+                let cluster = Cluster::new(ClusterConfig::homogeneous(2 * threads, "ia32-sim"));
+                b.iter(|| disjoint_pair_storm(&cluster, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Single-thread per-operation cost as the cluster grows: shard selection
+/// is an index, counters are per-shard atomics, so one pair's send/recv
+/// must cost the same on a 64-node cluster as on a 2-node one.
+fn per_op_cost_vs_cluster_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/single_pair_op_cost");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for nodes in [2usize, 16, 64] {
+        group.throughput(Throughput::Elements(MSGS_PER_PAIR));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}_nodes")),
+            &nodes,
+            |b, &nodes| {
+                let cluster = Cluster::new(ClusterConfig::homogeneous(nodes, "ia32-sim"));
+                b.iter(|| {
+                    for i in 0..MSGS_PER_PAIR {
+                        cluster.send(0, 1, i as i64 % TAG_SPACE, vec![i as f64]);
+                    }
+                    for tag in 0..TAG_SPACE {
+                        match cluster.recv(1, 0, tag) {
+                            RecvOutcome::Data(_) => {}
+                            other => panic!("expected data, got {other:?}"),
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    disjoint_pairs_scaling,
+    contended_vs_disjoint,
+    per_op_cost_vs_cluster_size
+);
+criterion_main!(benches);

@@ -1,12 +1,47 @@
 //! Cluster state: nodes, mailboxes, failure injection, migration daemons.
+//!
+//! # Sharding
+//!
+//! Cluster state is **sharded per node**: each node owns a [`NodeShard`]
+//! holding its mailbox (messages addressed *to* it), its inbound
+//! migration-daemon queue, its checkpoint-event counter and its traffic
+//! counters.  A cross-node send touches only the *receiver's* shard, so
+//! independent node pairs never contend on a lock, and the global counters
+//! (`messages_sent`, `bytes_transferred`, …) are lock-free sums over
+//! per-shard atomics.  No operation ever holds two shard locks at once, so
+//! there is no lock-order hazard (see `docs/ARCHITECTURE.md`, "Concurrency
+//! & determinism").
+//!
+//! # Deterministic simulation mode
+//!
+//! [`ClusterConfig::deterministic`] puts the cluster into a seeded
+//! virtual-time mode in which a whole grid run — including failure
+//! injection and resurrection — replays **bit-identically** from the seed:
+//!
+//! * `recv` never times out on the wall clock; it blocks on the shard
+//!   condvar until data arrives or the sender fails (a generous wall-clock
+//!   safety net still catches genuine deadlocks, loudly).
+//! * A failed sender is reported as [`RecvOutcome::PeerFailed`] **once per
+//!   failure epoch** per `(receiver, sender, tag)`; re-reads after the
+//!   rollback the signal triggers then *block* until the resurrected peer
+//!   re-sends, instead of spinning on further `MSG_ROLL`s whose count
+//!   would depend on thread scheduling.
+//! * Failure injection is **event-synchronous**: [`Cluster::schedule_failure`]
+//!   arms a trigger that marks the victim failed inside its own `k`-th
+//!   checkpoint delivery ([`Cluster::note_checkpoint`]), so the victim
+//!   always dies at the same program point regardless of scheduling.
+//! * Each node carries a seeded **virtual clock** ([`Cluster::virtual_time_us`])
+//!   advanced by a per-node tick derived from the seed plus the modelled
+//!   transfer time of its sends; `clock_us` reads virtual time instead of
+//!   the host clock.
 
 use crate::network::NetworkModel;
 use mojave_core::{
     CheckpointStore, PackedProcess, Process, ProcessConfig, RunOutcome, RuntimeError,
 };
 use std::collections::{HashMap, VecDeque};
-// (VecDeque is still used for the per-node migration-daemon inbound queues.)
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Cluster configuration.
@@ -16,11 +51,19 @@ pub struct ClusterConfig {
     pub nodes: usize,
     /// Interconnect model (used for accounting).
     pub network: NetworkModel,
-    /// How long a `msg_recv` waits before reporting `MSG_ROLL`.
+    /// How long a `msg_recv` waits before reporting `MSG_ROLL`.  In
+    /// deterministic mode this is only a deadlock safety net and should be
+    /// generous — timeouts are a wall-clock phenomenon and would break
+    /// replay.
     pub recv_timeout: Duration,
     /// Architecture tag per node; defaults to alternating `ia32-sim` /
     /// `risc-sim` to exercise heterogeneous migration.
     pub archs: Vec<String>,
+    /// Seeded virtual-time mode: see the module docs.  Off by default.
+    pub deterministic: bool,
+    /// Seed for the virtual-time scheduler and the per-node external RNGs.
+    /// Only meaningful with [`ClusterConfig::deterministic`].
+    pub seed: u64,
 }
 
 impl ClusterConfig {
@@ -49,6 +92,8 @@ impl ClusterConfig {
                     }
                 })
                 .collect(),
+            deterministic: false,
+            seed: 0,
         }
     }
 
@@ -60,6 +105,21 @@ impl ClusterConfig {
     pub fn homogeneous(nodes: usize, arch: &str) -> Self {
         ClusterConfig {
             archs: vec![arch.to_owned(); nodes],
+            ..ClusterConfig::new(nodes)
+        }
+    }
+
+    /// A cluster in **deterministic simulation mode**: seeded virtual time,
+    /// epoch-gated failure reporting and event-synchronous failure
+    /// injection, so runs replay bit-identically from `seed` (module docs).
+    ///
+    /// The receive timeout is widened to a 30-second safety net: in this
+    /// mode a timeout means a genuine deadlock, not backpressure.
+    pub fn deterministic(nodes: usize, seed: u64) -> Self {
+        ClusterConfig {
+            recv_timeout: Duration::from_secs(30),
+            deterministic: true,
+            seed,
             ..ClusterConfig::new(nodes)
         }
     }
@@ -86,28 +146,93 @@ pub enum RecvOutcome {
     Timeout,
 }
 
+/// SplitMix64: the statelessly seeded mixer behind per-node seeds and
+/// virtual-clock ticks.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A node's mailbox: the latest payload per `(from, tag)`, plus — in
+/// deterministic mode — which failure epochs have already been reported to
+/// a blocked receiver (so `MSG_ROLL` fires exactly once per failure).
 #[derive(Debug, Default)]
-struct Traffic {
-    messages: u64,
-    bytes: u64,
-    simulated_us: f64,
+struct Mailbox {
+    /// Message log: latest payload per `(from, tag)`, stamped with the
+    /// sender's failure epoch at send time.  Receives *read* rather than
+    /// consume, so that a worker that rolls back (or is resurrected from a
+    /// checkpoint) can re-read borders its previous incarnation already
+    /// received — border contents are deterministic, so re-reads and
+    /// re-sends are idempotent.  This is what keeps the Figure-2 recovery
+    /// protocol consistent when the failed node's last checkpoint is older
+    /// than the survivors' rollback points.  The epoch stamp is what makes
+    /// deterministic-mode failure observation timing-independent: a payload
+    /// first produced by a *post-failure incarnation* of the sender carries
+    /// that incarnation's epoch, so the receiver learns about the failure
+    /// from the data itself even if it never caught the sender in the
+    /// failed state.
+    messages: HashMap<(usize, i64), (u64, Vec<f64>)>,
+    /// Deterministic mode only: highest failure id of each sender already
+    /// reported as `PeerFailed` to this shard's receiver (a failure's id is
+    /// its odd epoch value).  Keyed per sender, not per tag: one failure
+    /// triggers exactly one rollback of the receiver, after which every
+    /// re-read and every later message from the resurrected sender is
+    /// plain data.
+    roll_observed: HashMap<usize, u64>,
+}
+
+/// Per-node slice of the cluster state.  Every field is owned by exactly
+/// one node; cross-node operations touch only the *target* node's shard.
+#[derive(Debug, Default)]
+struct NodeShard {
+    /// Messages addressed to this node, guarded with `mail_cv`.
+    mail: Mutex<Mailbox>,
+    /// Wakes receivers blocked in `recv` on this shard.
+    mail_cv: Condvar,
+    /// Inbound migrated processes awaiting this node's migration daemon.
+    inbound: Mutex<VecDeque<PackedProcess>>,
+    /// Failure epoch: even = alive, odd = failed.  Starts at 0 (alive);
+    /// each fail/revive transition increments by one.  Lock-free reads keep
+    /// `is_failed` off every shard lock.
+    status: AtomicU64,
+    /// Checkpoints this node has delivered to the shared store, guarded
+    /// with `ckpt_cv` so coordinators can *block* on "node has written k
+    /// checkpoints" instead of sleep-polling the store.
+    ckpt_count: Mutex<u64>,
+    /// Wakes waiters in `wait_for_node_checkpoints`.
+    ckpt_cv: Condvar,
+    /// Point-to-point messages delivered **to** this shard's mailbox.
+    messages_in: AtomicU64,
+    /// Bytes delivered to this shard (messages and inbound migrations).
+    bytes_in: AtomicU64,
+    /// Simulated network time for this shard's deliveries, in nanoseconds.
+    /// Integer so the sum over shards is order-independent (f64 addition
+    /// is not associative, which would break bit-identical replay).
+    sim_nanos_in: AtomicU64,
+    /// Deterministic mode: this node's virtual clock, in nanoseconds.
+    /// Written only from the node's own worker thread.
+    virtual_nanos: AtomicU64,
+}
+
+/// An armed failure injection: mark `victim` failed inside its
+/// `after_checkpoints`-th checkpoint delivery.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledFailure {
+    victim: usize,
+    after_checkpoints: u64,
 }
 
 struct Inner {
     config: ClusterConfig,
-    /// Message log: latest payload per (to, from, tag).  Receives *read*
-    /// rather than consume, so that a worker that rolls back (or is
-    /// resurrected from a checkpoint) can re-read borders its previous
-    /// incarnation already received — border contents are deterministic, so
-    /// re-reads and re-sends are idempotent.  This is what keeps the
-    /// Figure-2 recovery protocol consistent when the failed node's last
-    /// checkpoint is older than the survivors' rollback points.
-    mail: Mutex<HashMap<(usize, usize, i64), Vec<f64>>>,
-    mail_cv: Condvar,
-    status: Mutex<Vec<NodeStatus>>,
-    inbound: Mutex<Vec<VecDeque<PackedProcess>>>,
+    shards: Vec<NodeShard>,
     store: CheckpointStore,
-    traffic: Mutex<Traffic>,
+    scheduled_failure: Mutex<Option<ScheduledFailure>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A handle to the shared cluster state.  Cheap to clone; every node,
@@ -121,6 +246,7 @@ impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("nodes", &self.inner.config.nodes)
+            .field("deterministic", &self.inner.config.deterministic)
             .finish()
     }
 }
@@ -132,19 +258,41 @@ impl Cluster {
         Cluster {
             inner: Arc::new(Inner {
                 config,
-                mail: Mutex::new(HashMap::new()),
-                mail_cv: Condvar::new(),
-                status: Mutex::new(vec![NodeStatus::Alive; nodes]),
-                inbound: Mutex::new((0..nodes).map(|_| VecDeque::new()).collect()),
+                shards: (0..nodes).map(|_| NodeShard::default()).collect(),
                 store: CheckpointStore::new(),
-                traffic: Mutex::new(Traffic::default()),
+                scheduled_failure: Mutex::new(None),
             }),
         }
+    }
+
+    fn shard(&self, node: usize) -> &NodeShard {
+        &self.inner.shards[node]
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.inner.config.nodes
+    }
+
+    /// Whether this cluster runs in deterministic simulation mode.
+    pub fn is_deterministic(&self) -> bool {
+        self.inner.config.deterministic
+    }
+
+    /// The seed of the virtual-time scheduler (0 unless deterministic).
+    pub fn seed(&self) -> u64 {
+        self.inner.config.seed
+    }
+
+    /// The deterministic per-node seed for `node`'s externals RNG, derived
+    /// from the cluster seed.  Outside deterministic mode nodes fall back
+    /// to a fixed node-indexed seed, as before.
+    pub fn node_seed(&self, node: usize) -> u64 {
+        if self.is_deterministic() {
+            splitmix64(self.inner.config.seed ^ (node as u64).wrapping_mul(0x9E37_79B9))
+        } else {
+            0xC1u64.wrapping_mul(node as u64 + 1)
+        }
     }
 
     /// The shared reliable store (the "NFS mount").
@@ -174,90 +322,148 @@ impl Cluster {
 
     /// A node's status.
     pub fn status(&self, node: usize) -> NodeStatus {
-        self.inner
-            .status
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)[node]
+        if self.failure_epoch(node) % 2 == 1 {
+            NodeStatus::Failed
+        } else {
+            NodeStatus::Alive
+        }
     }
 
-    /// Whether a node is currently failed.
+    /// A node's failure epoch: even = alive, odd = failed; each
+    /// fail/revive transition increments it.  Lock-free.
+    pub fn failure_epoch(&self, node: usize) -> u64 {
+        self.shard(node).status.load(Ordering::SeqCst)
+    }
+
+    /// Whether a node is currently failed.  Lock-free.
     pub fn is_failed(&self, node: usize) -> bool {
         self.status(node) == NodeStatus::Failed
     }
 
     /// Mark a node as failed (failure injection).  Its processes observe the
     /// failure at their next external call; peers observe it through
-    /// `MSG_ROLL` receives.
+    /// `MSG_ROLL` receives.  Idempotent: failing a failed node is a no-op.
     pub fn fail_node(&self, node: usize) {
-        self.inner
+        let flipped = self
+            .shard(node)
             .status
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)[node] = NodeStatus::Failed;
-        // Wake any receiver blocked on a message from this node.
-        self.inner.mail_cv.notify_all();
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                (v % 2 == 0).then_some(v + 1)
+            })
+            .is_ok();
+        if flipped {
+            // Receivers waiting on a message *from* this node block on
+            // their own shard's condvar, so every shard must be woken.
+            self.notify_all_shards();
+        }
     }
 
     /// Mark a node alive again (a replacement machine, or the resurrection
-    /// of the computation on a spare).
+    /// of the computation on a spare).  Idempotent.
     pub fn revive_node(&self, node: usize) {
-        self.inner
+        let flipped = self
+            .shard(node)
             .status
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)[node] = NodeStatus::Alive;
-        self.inner.mail_cv.notify_all();
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                (v % 2 == 1).then_some(v + 1)
+            })
+            .is_ok();
+        if flipped {
+            self.notify_all_shards();
+        }
+    }
+
+    fn notify_all_shards(&self) {
+        for shard in &self.inner.shards {
+            // Acquire the mail lock so the notify cannot race between a
+            // blocked receiver's predicate check and its wait.
+            let _mail = lock(&shard.mail);
+            shard.mail_cv.notify_all();
+        }
     }
 
     /// Point-to-point send of a float payload with a tag.  A re-send after a
     /// rollback overwrites the logged copy (the payload is identical, because
     /// the rolled-back computation is deterministic).
+    ///
+    /// Only the **receiver's** shard is touched: disjoint node pairs never
+    /// contend.
     pub fn send(&self, from: usize, to: usize, tag: i64, data: Vec<f64>) {
-        {
-            let mut traffic = self
-                .inner
-                .traffic
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            traffic.messages += 1;
-            let bytes = data.len() * 8 + 32;
-            traffic.bytes += bytes as u64;
-            traffic.simulated_us += self.inner.config.network.transfer_time_us(bytes);
+        let bytes = data.len() * 8 + 32;
+        let transfer_us = self.inner.config.network.transfer_time_us(bytes);
+        let shard = self.shard(to);
+        shard.messages_in.fetch_add(1, Ordering::SeqCst);
+        shard.bytes_in.fetch_add(bytes as u64, Ordering::SeqCst);
+        shard
+            .sim_nanos_in
+            .fetch_add(sim_nanos(transfer_us), Ordering::SeqCst);
+        let sender_epoch = if from < self.num_nodes() {
+            self.failure_epoch(from)
+        } else {
+            0
+        };
+        if self.is_deterministic() && from < self.num_nodes() {
+            self.advance_virtual_clock(from, sim_nanos(transfer_us));
         }
-        let mut mail = self
-            .inner
-            .mail
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        mail.insert((to, from, tag), data);
-        self.inner.mail_cv.notify_all();
+        let mut mail = lock(&shard.mail);
+        mail.messages.insert((from, tag), (sender_epoch, data));
+        shard.mail_cv.notify_all();
     }
 
     /// Receive the message sent from `from` to `to` with tag `tag`, waiting
     /// up to the configured timeout.  The message stays in the log so a
     /// rolled-back or resurrected receiver can read it again.
+    ///
+    /// In deterministic mode a failed sender is reported once per failure
+    /// epoch and further re-reads block until the resurrected peer
+    /// re-sends; see the module docs.
     pub fn recv(&self, to: usize, from: usize, tag: i64) -> RecvOutcome {
+        let deterministic = self.is_deterministic();
         let deadline = Instant::now() + self.inner.config.recv_timeout;
-        let mut mail = self
-            .inner
-            .mail
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shard = self.shard(to);
+        let mut mail = lock(&shard.mail);
         loop {
-            if let Some(data) = mail.get(&(to, from, tag)) {
+            if let Some((send_epoch, data)) = mail.messages.get(&(from, tag)) {
+                // Deterministic mode: a payload first produced by a
+                // post-failure incarnation of the sender (epoch stamp > 0)
+                // reports that failure exactly once before the data is
+                // handed out, so the receiver's rollback happens at the
+                // same program point whether it raced the failure window or
+                // only saw the resurrected sender's re-send.
+                if deterministic && *send_epoch > 0 {
+                    let failure_id = send_epoch - 1 + send_epoch % 2;
+                    if mail.roll_observed.get(&from).copied().unwrap_or(0) < failure_id {
+                        mail.roll_observed.insert(from, failure_id);
+                        return RecvOutcome::PeerFailed;
+                    }
+                }
                 return RecvOutcome::Data(data.clone());
             }
-            if self.is_failed(from) {
-                return RecvOutcome::PeerFailed;
+            let epoch = self.failure_epoch(from);
+            if epoch % 2 == 1 {
+                if !deterministic {
+                    return RecvOutcome::PeerFailed;
+                }
+                // Deterministic mode: report this failure exactly once,
+                // then block until revival + re-send.  The count of
+                // MSG_ROLLs a receiver observes is thereby a function of
+                // the failure schedule, not of thread timing.
+                if mail.roll_observed.get(&from).copied().unwrap_or(0) < epoch {
+                    mail.roll_observed.insert(from, epoch);
+                    return RecvOutcome::PeerFailed;
+                }
             }
             let now = Instant::now();
             if now >= deadline {
                 return RecvOutcome::Timeout;
             }
+            // Chunked waits guard against any lost-wakeup bug turning into
+            // a hang; correctness never depends on the chunk period.
             let wait = (deadline - now).min(Duration::from_millis(20));
-            mail = self
-                .inner
+            mail = shard
                 .mail_cv
                 .wait_timeout(mail, wait)
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
     }
@@ -268,62 +474,177 @@ impl Cluster {
         if node >= self.num_nodes() || self.is_failed(node) {
             return false;
         }
-        {
-            let mut traffic = self
-                .inner
-                .traffic
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            traffic.bytes += packed.bytes.len() as u64;
-            traffic.simulated_us += self
-                .inner
-                .config
-                .network
-                .transfer_time_us(packed.bytes.len());
-        }
-        self.inner
-            .inbound
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)[node]
-            .push_back(packed);
+        let shard = self.shard(node);
+        let transfer_us = self
+            .inner
+            .config
+            .network
+            .transfer_time_us(packed.bytes.len());
+        shard
+            .bytes_in
+            .fetch_add(packed.bytes.len() as u64, Ordering::SeqCst);
+        shard
+            .sim_nanos_in
+            .fetch_add(sim_nanos(transfer_us), Ordering::SeqCst);
+        lock(&shard.inbound).push_back(packed);
         true
     }
 
     /// Take the next inbound process for `node`, if any.
     pub fn pop_inbound(&self, node: usize) -> Option<PackedProcess> {
-        self.inner
-            .inbound
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)[node]
-            .pop_front()
+        lock(&self.shard(node).inbound).pop_front()
     }
+
+    // ------------------------------------------------------------------
+    // Checkpoint events & scheduled failure injection
+    // ------------------------------------------------------------------
+
+    /// Record that `node` delivered a checkpoint to the shared store.
+    /// Called by the cluster sink; wakes [`Cluster::wait_for_node_checkpoints`]
+    /// waiters and fires a matching [`Cluster::schedule_failure`] trigger
+    /// **synchronously in the delivering thread**, which is what makes
+    /// deterministic-mode failure injection replayable.
+    pub fn note_checkpoint(&self, node: usize) {
+        let shard = self.shard(node);
+        let count = {
+            let mut ckpt = lock(&shard.ckpt_count);
+            *ckpt += 1;
+            shard.ckpt_cv.notify_all();
+            *ckpt
+        };
+        let fire = {
+            let mut scheduled = lock(&self.inner.scheduled_failure);
+            match *scheduled {
+                Some(s) if s.victim == node && count >= s.after_checkpoints => {
+                    *scheduled = None;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fire {
+            self.fail_node(node);
+        }
+    }
+
+    /// Checkpoints `node` has delivered so far.
+    pub fn checkpoints_delivered(&self, node: usize) -> u64 {
+        *lock(&self.shard(node).ckpt_count)
+    }
+
+    /// Block until `node` has delivered at least `count` checkpoints, or
+    /// until `timeout` elapses; returns whether the count was reached.
+    /// This is the event-driven replacement for sleep-polling the store.
+    pub fn wait_for_node_checkpoints(&self, node: usize, count: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let shard = self.shard(node);
+        let mut ckpt = lock(&shard.ckpt_count);
+        while *ckpt < count {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            ckpt = shard
+                .ckpt_cv
+                .wait_timeout(ckpt, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        true
+    }
+
+    /// Arm a failure injection: `victim` is marked failed inside its
+    /// `after_checkpoints`-th checkpoint delivery (so there is always a
+    /// checkpoint to resurrect from, and — in deterministic mode — the
+    /// victim dies at the same program point on every replay).  Replaces
+    /// any previously armed schedule.
+    pub fn schedule_failure(&self, victim: usize, after_checkpoints: u64) {
+        *lock(&self.inner.scheduled_failure) = Some(ScheduledFailure {
+            victim,
+            after_checkpoints: after_checkpoints.max(1),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual time (deterministic mode)
+    // ------------------------------------------------------------------
+
+    /// A node's virtual clock in microseconds (deterministic mode; always
+    /// 0 otherwise).  Each node's clock is advanced only from its own
+    /// worker thread, so readings are a pure function of that node's
+    /// execution and the seed.
+    pub fn virtual_time_us(&self, node: usize) -> u64 {
+        self.shard(node).virtual_nanos.load(Ordering::SeqCst) / 1_000
+    }
+
+    /// Advance `node`'s virtual clock by its seeded per-call tick and
+    /// return the new time in microseconds.  The tick (1–8 µs) is derived
+    /// from the cluster seed and the node id, standing in for the varying
+    /// per-operation latencies a wall clock would show — but replayable.
+    pub fn tick_virtual_clock(&self, node: usize) -> u64 {
+        let tick_us = 1 + (splitmix64(self.inner.config.seed ^ ((node as u64) << 32)) % 8);
+        self.advance_virtual_clock(node, tick_us * 1_000);
+        self.virtual_time_us(node)
+    }
+
+    fn advance_virtual_clock(&self, node: usize, nanos: u64) {
+        self.shard(node)
+            .virtual_nanos
+            .fetch_add(nanos, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic accounting
+    // ------------------------------------------------------------------
 
     /// Total bytes moved over the simulated network so far.
     pub fn bytes_transferred(&self) -> u64 {
         self.inner
-            .traffic
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .bytes
+            .shards
+            .iter()
+            .map(|s| s.bytes_in.load(Ordering::SeqCst))
+            .sum()
     }
 
     /// Total simulated network time in microseconds.
     pub fn simulated_network_us(&self) -> f64 {
-        self.inner
-            .traffic
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .simulated_us
+        let nanos: u64 = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.sim_nanos_in.load(Ordering::SeqCst))
+            .sum();
+        nanos as f64 / 1_000.0
     }
 
     /// Number of point-to-point messages sent.
     pub fn messages_sent(&self) -> u64 {
         self.inner
-            .traffic
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .messages
+            .shards
+            .iter()
+            .map(|s| s.messages_in.load(Ordering::SeqCst))
+            .sum()
     }
+
+    /// Point-to-point messages delivered **to** `node`'s shard — the
+    /// per-shard counter behind [`Cluster::messages_sent`].
+    pub fn node_messages_received(&self, node: usize) -> u64 {
+        self.shard(node).messages_in.load(Ordering::SeqCst)
+    }
+
+    /// Bytes delivered **to** `node`'s shard (messages and inbound
+    /// migrations) — the per-shard counter behind
+    /// [`Cluster::bytes_transferred`].
+    pub fn node_bytes_received(&self, node: usize) -> u64 {
+        self.shard(node).bytes_in.load(Ordering::SeqCst)
+    }
+}
+
+/// Deterministic nanosecond rounding of a modelled `f64` microsecond cost.
+/// Integer per-shard accumulation keeps the global sum independent of
+/// delivery interleaving (f64 addition is order-sensitive).
+fn sim_nanos(us: f64) -> u64 {
+    (us * 1_000.0).round() as u64
 }
 
 /// The migration server of paper §4.2.1: "a version of the compiler that will
@@ -413,6 +734,9 @@ mod tests {
         }
         assert_eq!(cluster.messages_sent(), 1);
         assert!(cluster.bytes_transferred() > 24);
+        // The delivery landed on the receiver's shard.
+        assert_eq!(cluster.node_messages_received(1), 1);
+        assert_eq!(cluster.node_messages_received(0), 0);
     }
 
     #[test]
@@ -420,8 +744,72 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::new(2));
         cluster.fail_node(0);
         assert_eq!(cluster.recv(1, 0, 7), RecvOutcome::PeerFailed);
+        // Wall-clock mode keeps reporting it (the receiver spins on
+        // rollbacks until the peer comes back).
+        assert_eq!(cluster.recv(1, 0, 7), RecvOutcome::PeerFailed);
         cluster.revive_node(0);
         assert_eq!(cluster.status(0), NodeStatus::Alive);
+    }
+
+    #[test]
+    fn failure_epochs_count_transitions_and_are_idempotent() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        assert_eq!(cluster.failure_epoch(0), 0);
+        cluster.fail_node(0);
+        cluster.fail_node(0); // no-op
+        assert_eq!(cluster.failure_epoch(0), 1);
+        cluster.revive_node(0);
+        cluster.revive_node(0); // no-op
+        assert_eq!(cluster.failure_epoch(0), 2);
+        cluster.fail_node(0);
+        assert_eq!(cluster.failure_epoch(0), 3);
+        assert!(cluster.is_failed(0));
+    }
+
+    #[test]
+    fn deterministic_recv_reports_each_failure_epoch_once() {
+        let mut config = ClusterConfig::deterministic(2, 7);
+        config.recv_timeout = Duration::from_millis(50);
+        let cluster = Cluster::new(config);
+        cluster.fail_node(0);
+        // First observation of the failure: MSG_ROLL.
+        assert_eq!(cluster.recv(1, 0, 7), RecvOutcome::PeerFailed);
+        // Re-read after the rollback: blocks (here: safety timeout) rather
+        // than spinning out more scheduling-dependent MSG_ROLLs.
+        assert_eq!(cluster.recv(1, 0, 7), RecvOutcome::Timeout);
+        // A revival plus re-send delivers the data to the blocked reader —
+        // the roll for this failure was already observed, so no second
+        // MSG_ROLL, on this tag or any other tag the resurrected sender
+        // produces.
+        cluster.revive_node(0);
+        cluster.send(0, 1, 7, vec![4.25]);
+        assert_eq!(cluster.recv(1, 0, 7), RecvOutcome::Data(vec![4.25]));
+        cluster.send(0, 1, 9, vec![1.5]);
+        assert_eq!(cluster.recv(1, 0, 9), RecvOutcome::Data(vec![1.5]));
+        // A *second* failure is a new epoch: reported once again.
+        cluster.fail_node(0);
+        assert_eq!(cluster.recv(1, 0, 8), RecvOutcome::PeerFailed);
+        assert_eq!(cluster.recv(1, 0, 8), RecvOutcome::Timeout);
+    }
+
+    #[test]
+    fn deterministic_taint_reports_a_missed_failure_window() {
+        // The receiver never catches the sender in the failed state, but
+        // the first payload produced by the post-failure incarnation still
+        // delivers exactly one MSG_ROLL — so the receiver's rollback point
+        // is a function of the data, not of scheduling.
+        let mut config = ClusterConfig::deterministic(2, 11);
+        config.recv_timeout = Duration::from_millis(50);
+        let cluster = Cluster::new(config);
+        cluster.send(0, 1, 1, vec![1.0]);
+        assert_eq!(cluster.recv(1, 0, 1), RecvOutcome::Data(vec![1.0]));
+        cluster.fail_node(0);
+        cluster.revive_node(0);
+        cluster.send(0, 1, 2, vec![2.0]);
+        assert_eq!(cluster.recv(1, 0, 2), RecvOutcome::PeerFailed);
+        assert_eq!(cluster.recv(1, 0, 2), RecvOutcome::Data(vec![2.0]));
+        // Pre-failure payloads stay clean on re-read.
+        assert_eq!(cluster.recv(1, 0, 1), RecvOutcome::Data(vec![1.0]));
     }
 
     #[test]
@@ -469,10 +857,73 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::new(2));
         let c2 = cluster.clone();
         let handle = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(20));
             c2.send(0, 1, 99, vec![3.5]);
         });
         assert_eq!(cluster.recv(1, 0, 99), RecvOutcome::Data(vec![3.5]));
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn scheduled_failure_fires_inside_the_matching_checkpoint() {
+        let cluster = Cluster::new(ClusterConfig::deterministic(2, 3));
+        cluster.schedule_failure(1, 2);
+        cluster.note_checkpoint(1);
+        assert!(!cluster.is_failed(1), "first checkpoint must not trigger");
+        cluster.note_checkpoint(0); // other nodes never trigger
+        assert!(!cluster.is_failed(1));
+        cluster.note_checkpoint(1);
+        assert!(cluster.is_failed(1), "second checkpoint fires the schedule");
+        assert_eq!(cluster.checkpoints_delivered(1), 2);
+        assert_eq!(cluster.checkpoints_delivered(0), 1);
+    }
+
+    #[test]
+    fn wait_for_node_checkpoints_blocks_until_delivery() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        // Already satisfied: returns immediately.
+        assert!(cluster.wait_for_node_checkpoints(0, 0, Duration::from_millis(1)));
+        // Not satisfied in time: returns false.
+        assert!(!cluster.wait_for_node_checkpoints(0, 1, Duration::from_millis(20)));
+        // Satisfied by a concurrent delivery: wakes without polling.
+        let c2 = cluster.clone();
+        let handle = std::thread::spawn(move || c2.note_checkpoint(0));
+        assert!(cluster.wait_for_node_checkpoints(0, 1, Duration::from_secs(10)));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn virtual_clock_is_seeded_and_replayable() {
+        let a = Cluster::new(ClusterConfig::deterministic(2, 42));
+        let b = Cluster::new(ClusterConfig::deterministic(2, 42));
+        let seq_a: Vec<u64> = (0..5).map(|_| a.tick_virtual_clock(0)).collect();
+        let seq_b: Vec<u64> = (0..5).map(|_| b.tick_virtual_clock(0)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same virtual time");
+        assert!(seq_a.windows(2).all(|w| w[0] < w[1]), "clock is monotonic");
+        // A different seed gives a different schedule (with overwhelming
+        // probability for these seeds).
+        let c = Cluster::new(ClusterConfig::deterministic(2, 43));
+        let seq_c: Vec<u64> = (0..5).map(|_| c.tick_virtual_clock(0)).collect();
+        assert_ne!(seq_a, seq_c);
+        // Sends advance the sender's clock by the modelled transfer time.
+        let before = a.virtual_time_us(0);
+        a.send(0, 1, 1, vec![0.0; 128]);
+        assert!(a.virtual_time_us(0) > before);
+        // Outside deterministic mode the virtual clock stays at zero.
+        let wall = Cluster::new(ClusterConfig::new(2));
+        wall.send(0, 1, 1, vec![0.0]);
+        assert_eq!(wall.virtual_time_us(0), 0);
+    }
+
+    #[test]
+    fn per_shard_counters_sum_to_totals() {
+        let cluster = Cluster::new(ClusterConfig::new(4));
+        cluster.send(0, 1, 1, vec![1.0]);
+        cluster.send(2, 3, 1, vec![1.0, 2.0]);
+        cluster.send(3, 2, 1, vec![]);
+        let per_shard: u64 = (0..4).map(|n| cluster.node_messages_received(n)).sum();
+        assert_eq!(per_shard, cluster.messages_sent());
+        let per_shard_bytes: u64 = (0..4).map(|n| cluster.node_bytes_received(n)).sum();
+        assert_eq!(per_shard_bytes, cluster.bytes_transferred());
+        assert!(cluster.simulated_network_us() > 0.0);
     }
 }

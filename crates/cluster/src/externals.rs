@@ -16,6 +16,11 @@ use mojave_heap::{Heap, Word};
 /// Failure injection: once the cluster marks this node failed, the *next*
 /// external call of any kind raises an error, which terminates the process —
 /// the moral equivalent of the machine going down.
+///
+/// In the cluster's deterministic simulation mode the RNG seed is derived
+/// from the cluster seed, every external call advances the node's seeded
+/// virtual clock, and `clock_us` reads that virtual clock instead of the
+/// host's — so a run's observable behaviour is a pure function of the seed.
 #[derive(Debug)]
 pub struct ClusterExternals {
     cluster: Cluster,
@@ -26,7 +31,7 @@ pub struct ClusterExternals {
 impl ClusterExternals {
     /// Externals for `node` on `cluster`.
     pub fn new(cluster: Cluster, node: usize) -> Self {
-        let seed = 0xC1u64.wrapping_mul(node as u64 + 1);
+        let seed = cluster.node_seed(node);
         ClusterExternals {
             cluster,
             node,
@@ -66,6 +71,14 @@ impl Externals for ClusterExternals {
     fn call(&mut self, call: ExtCall<'_>, heap: &mut Heap) -> Result<Word, RuntimeError> {
         if self.cluster.is_failed(self.node) {
             return Err(self.killed());
+        }
+        if self.cluster.is_deterministic() {
+            // Virtual time: every external call costs a seeded per-node
+            // tick, so `clock_us` readings replay exactly from the seed.
+            let now_us = self.cluster.tick_virtual_clock(self.node);
+            if call.name == "clock_us" {
+                return Ok(Word::Int(now_us as i64));
+            }
         }
         match call.name {
             "node_id" => Ok(Word::Int(self.node as i64)),
@@ -109,6 +122,21 @@ impl Externals for ClusterExternals {
                             heap.store(ptr, i as i64, Word::Float(*value))?;
                         }
                         Ok(Word::Int(MSG_OK))
+                    }
+                    // Deterministic mode has no receive timeouts: hitting
+                    // the wall-clock safety net means a genuine deadlock,
+                    // and must fail loudly rather than feed a
+                    // scheduling-dependent MSG_ROLL into a replay.
+                    RecvOutcome::Timeout if self.cluster.is_deterministic() => {
+                        Err(RuntimeError::ExternError {
+                            name: "msg_recv".into(),
+                            message: format!(
+                                "deterministic recv(from={src}, tag={tag}) on node {} hit the \
+                                 {:?} deadlock safety net",
+                                self.node,
+                                self.cluster.recv_timeout()
+                            ),
+                        })
                     }
                     RecvOutcome::PeerFailed | RecvOutcome::Timeout => Ok(Word::Int(MSG_ROLL)),
                 }

@@ -14,8 +14,13 @@
 //!
 //! The pieces:
 //!
-//! * [`Cluster`] — shared state: mailboxes, the checkpoint store, the set of
-//!   failed nodes, per-node architecture tags.
+//! * [`Cluster`] — shared state, **sharded per node**: each node owns its
+//!   mailbox + condvar, inbound daemon queue and atomic traffic counters,
+//!   so disjoint node pairs never contend on a lock; the checkpoint store,
+//!   failure epochs and per-node architecture tags ride alongside.  With
+//!   [`ClusterConfig::deterministic`] the cluster runs in a seeded
+//!   virtual-time mode in which whole runs (failure injection included)
+//!   replay bit-identically from the seed.
 //! * [`ClusterExternals`] — an [`mojave_core::Externals`] implementation that
 //!   wires `msg_send` / `msg_recv` / `node_id` / `num_nodes` to the cluster
 //!   and delegates everything else to the standard externals.

@@ -53,6 +53,11 @@ impl MigrationSink for ClusterSink {
                 self.cluster
                     .send(self.node, self.node, -1, vec![bytes.len() as f64]);
                 self.cluster.store().put(target, bytes);
+                // Checkpoint-event hook: wakes coordinators blocked on
+                // "node has written k checkpoints" and fires any scheduled
+                // failure injection synchronously in this thread (the
+                // deterministic-mode replay guarantee).
+                self.cluster.note_checkpoint(self.node);
                 DeliveryOutcome::Stored
             }
             MigrateProtocol::Migrate => {

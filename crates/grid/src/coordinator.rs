@@ -7,6 +7,7 @@ use crate::GridConfig;
 use mojave_cluster::{Cluster, ClusterConfig, ClusterExternals, ClusterSink};
 use mojave_core::{Process, ProcessConfig, ProcessStats, RunOutcome, RuntimeError};
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -44,6 +45,10 @@ pub struct GridReport {
     pub wall_time: Duration,
     /// Bytes moved over the simulated network.
     pub network_bytes: u64,
+    /// Point-to-point messages sent over the simulated network (border
+    /// exchanges, checkpoint-store writes, and any re-sends after
+    /// rollbacks or resurrection).
+    pub network_messages: u64,
 }
 
 impl GridReport {
@@ -65,6 +70,31 @@ impl GridReport {
             .zip(&self.reference_checksums)
             .map(|(g, w)| (g - w).abs())
             .fold(0.0, f64::max)
+    }
+
+    /// A stable digest of every **replay-deterministic** field of the
+    /// report: checksum bit patterns, rollback/checkpoint/speculation
+    /// counters, recovery flag and network traffic.  Two
+    /// [`run_grid_deterministic`] runs with the same configuration, failure
+    /// plan and seed produce bit-identical digests; `wall_time` is the one
+    /// field deliberately excluded (it measures the host, not the run).
+    pub fn replay_digest(&self) -> String {
+        let mut out = String::new();
+        for c in &self.worker_checksums {
+            let _ = write!(out, "{:016x},", c.to_bits());
+        }
+        let _ = write!(
+            out,
+            "recovered={} rollbacks={} checkpoints={} deltas={} specs={} bytes={} msgs={}",
+            self.recovered_from_failure,
+            self.rollbacks,
+            self.checkpoints,
+            self.delta_checkpoints,
+            self.speculations,
+            self.network_bytes,
+            self.network_messages,
+        );
+        out
     }
 }
 
@@ -218,12 +248,46 @@ pub fn run_grid(
     config: &GridConfig,
     failure: Option<FailurePlan>,
 ) -> Result<GridReport, GridError> {
+    let mut cluster_config = ClusterConfig::new(config.workers);
+    cluster_config.recv_timeout = Duration::from_millis(1_500);
+    run_grid_on(Cluster::new(cluster_config), config, failure)
+}
+
+/// Run the grid computation in the cluster's **deterministic simulation
+/// mode** ([`ClusterConfig::deterministic`]): seeded virtual time, no
+/// wall-clock receive timeouts, and failure injection fired synchronously
+/// inside the victim's `after_checkpoints`-th checkpoint delivery.  The
+/// whole run — worker checksums, rollback/checkpoint counters, network
+/// traffic, recovery — replays bit-identically from `seed`; compare
+/// [`GridReport::replay_digest`]s to prove it.
+pub fn run_grid_deterministic(
+    config: &GridConfig,
+    failure: Option<FailurePlan>,
+    seed: u64,
+) -> Result<GridReport, GridError> {
+    run_grid_on(
+        Cluster::new(ClusterConfig::deterministic(config.workers, seed)),
+        config,
+        failure,
+    )
+}
+
+fn run_grid_on(
+    cluster: Cluster,
+    config: &GridConfig,
+    failure: Option<FailurePlan>,
+) -> Result<GridReport, GridError> {
     let source = worker_source(config);
     let program = mojave_lang::compile_source(&source).map_err(GridError::Compile)?;
 
-    let mut cluster_config = ClusterConfig::new(config.workers);
-    cluster_config.recv_timeout = Duration::from_millis(1_500);
-    let cluster = Cluster::new(cluster_config);
+    // Deterministic mode arms the failure *before* any worker runs: the
+    // victim is then marked failed inside its own k-th checkpoint delivery,
+    // independent of thread scheduling.
+    if let Some(plan) = failure {
+        if cluster.is_deterministic() {
+            cluster.schedule_failure(plan.victim, plan.after_checkpoints as u64);
+        }
+    }
 
     let start = Instant::now();
     let (tx, rx) = mpsc::channel();
@@ -231,23 +295,18 @@ pub fn run_grid(
         spawn_worker(&cluster, program.clone(), worker, tx.clone());
     }
 
-    // Failure injection: wait until the victim has written enough
+    // Wall-clock failure injection: block on the cluster's checkpoint
+    // events (no sleep-polling) until the victim has written enough
     // checkpoints, then mark its node failed.
     if let Some(plan) = failure {
-        let deadline = Instant::now() + Duration::from_secs(60);
-        loop {
-            let have = latest_checkpoint(&cluster, plan.victim)
-                .map(|(_, step)| step as usize / config.checkpoint_interval)
-                .unwrap_or(0);
-            if have >= plan.after_checkpoints {
-                break;
-            }
-            if Instant::now() > deadline {
-                break;
-            }
-            thread::sleep(Duration::from_millis(5));
+        if !cluster.is_deterministic() {
+            cluster.wait_for_node_checkpoints(
+                plan.victim,
+                plan.after_checkpoints as u64,
+                Duration::from_secs(60),
+            );
+            cluster.fail_node(plan.victim);
         }
-        cluster.fail_node(plan.victim);
     }
 
     let mut checksums = vec![f64::NAN; config.workers];
@@ -305,6 +364,7 @@ pub fn run_grid(
         speculations,
         wall_time: start.elapsed(),
         network_bytes: cluster.bytes_transferred(),
+        network_messages: cluster.messages_sent(),
     })
 }
 
@@ -336,6 +396,41 @@ mod tests {
         assert_eq!(report.delta_checkpoints, report.checkpoints - 3);
         assert!(report.speculations >= report.checkpoints);
         assert!(report.network_bytes > 0);
+    }
+
+    #[test]
+    fn deterministic_runs_replay_bit_identically() {
+        let config = GridConfig {
+            workers: 4,
+            rows_per_worker: 3,
+            cols: 6,
+            timesteps: 8,
+            checkpoint_interval: 2,
+        };
+        let failure = Some(FailurePlan {
+            victim: 2,
+            after_checkpoints: 1,
+        });
+        let a = run_grid_deterministic(&config, failure, 0xD5EED).expect("first run");
+        assert!(a.is_correct(), "max error {}", a.max_error());
+        assert!(a.recovered_from_failure);
+        let b = run_grid_deterministic(&config, failure, 0xD5EED).expect("replay");
+        assert_eq!(a.replay_digest(), b.replay_digest());
+        // Surviving neighbours of the victim roll back exactly once each in
+        // deterministic mode — no scheduling-dependent MSG_ROLL spinning.
+        assert_eq!(a.rollbacks, 2);
+    }
+
+    #[test]
+    fn no_sleep_polling_in_the_join_path() {
+        // The coordinator blocks on cluster checkpoint events; the 5 ms
+        // sleep-poll loop must never come back.
+        let source = include_str!("coordinator.rs");
+        let needle: String = ["thread::", "sleep"].concat();
+        assert!(
+            !source.contains(&needle),
+            "coordinator.rs re-introduced sleep-polling"
+        );
     }
 
     #[test]

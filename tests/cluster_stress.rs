@@ -1,0 +1,143 @@
+//! Large-cluster stress harness: seeded deterministic grid runs at 64+
+//! nodes with mid-run failure injection and resurrection, asserted to
+//! replay **bit-identically** from their seed.
+//!
+//! The non-ignored test is the tier-1 guarantee (one 64-node replay pair);
+//! the `#[ignore]`d tests are the CI `stress` job's 3-seed matrix and a
+//! contention sweep, run on the nightly cron or the `stress` PR label
+//! (`cargo test --release --test cluster_stress -- --ignored`).
+
+use mojave::cluster::{Cluster, ClusterConfig};
+use mojave::grid::{run_grid_deterministic, FailurePlan, GridConfig, GridReport};
+
+fn stress_config(workers: usize) -> GridConfig {
+    GridConfig {
+        workers,
+        rows_per_worker: 2,
+        cols: 4,
+        timesteps: 6,
+        checkpoint_interval: 2,
+    }
+}
+
+/// Run the same seeded configuration twice and insist on a bit-identical
+/// replay digest, returning the first report for further assertions.
+fn assert_replays_bit_identically(
+    config: &GridConfig,
+    failure: Option<FailurePlan>,
+    seed: u64,
+) -> GridReport {
+    let first = run_grid_deterministic(config, failure, seed).expect("first run succeeds");
+    let second = run_grid_deterministic(config, failure, seed).expect("replay succeeds");
+    assert_eq!(
+        first.replay_digest(),
+        second.replay_digest(),
+        "seed {seed:#x} did not replay bit-identically"
+    );
+    assert!(
+        first.is_correct(),
+        "seed {seed:#x}: checksums diverge from the reference (max error {})",
+        first.max_error()
+    );
+    first
+}
+
+/// The headline guarantee: a 64-node grid run with a mid-run failure and
+/// resurrection replays bit-identically from a fixed seed.
+#[test]
+fn sixty_four_node_failure_run_replays_bit_identically() {
+    let config = stress_config(64);
+    let failure = Some(FailurePlan {
+        victim: 23,
+        after_checkpoints: 1,
+    });
+    let report = assert_replays_bit_identically(&config, failure, 0x0A0_7A7E);
+    assert!(report.recovered_from_failure);
+    // Exactly the victim's two neighbours roll back, once each —
+    // deterministic-mode failure observation is data-driven, not timed.
+    assert_eq!(report.rollbacks, 2);
+    // Every worker checkpoints timesteps/interval times; the victim's
+    // resurrected incarnation re-writes its post-failure checkpoints.
+    assert!(report.checkpoints >= (64 * 6 / 2) as u64);
+}
+
+/// Different seeds drive different virtual-time schedules but identical
+/// physics: the checksums must match the reference under every seed.
+#[test]
+fn failure_free_sixty_four_node_run_is_seed_stable() {
+    let config = stress_config(64);
+    let a = assert_replays_bit_identically(&config, None, 1);
+    assert!(!a.recovered_from_failure);
+    assert_eq!(a.rollbacks, 0, "no failure, no rollbacks in det mode");
+}
+
+/// CI stress matrix: three seeds, each replayed twice, with failure
+/// injection and resurrection mid-run.  Ignored by default; the CI
+/// `stress` job runs it on the nightly cron or the `stress` label.
+#[test]
+#[ignore = "large-cluster stress matrix; run via the CI stress job or --ignored"]
+fn stress_matrix_three_seeds_with_failure() {
+    for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+        let config = stress_config(64);
+        let victim = (seed % 62 + 1) as usize; // interior node, seed-derived
+        let report = assert_replays_bit_identically(
+            &config,
+            Some(FailurePlan {
+                victim,
+                after_checkpoints: 1,
+            }),
+            seed,
+        );
+        assert!(report.recovered_from_failure, "seed {seed:#x}");
+        assert_eq!(report.rollbacks, 2, "seed {seed:#x}");
+    }
+}
+
+/// 128 nodes: double the shard count, same guarantees.
+#[test]
+#[ignore = "large-cluster stress; run via the CI stress job or --ignored"]
+fn one_hundred_twenty_eight_node_run_replays() {
+    let config = stress_config(128);
+    let report = assert_replays_bit_identically(
+        &config,
+        Some(FailurePlan {
+            victim: 64,
+            after_checkpoints: 1,
+        }),
+        0xBEEF,
+    );
+    assert!(report.recovered_from_failure);
+}
+
+/// Shard scaling sanity check outside the grid app: a storm of disjoint
+/// sends lands every message on the right shard and the per-shard counters
+/// sum exactly to the global ones.
+#[test]
+#[ignore = "large-cluster stress; run via the CI stress job or --ignored"]
+fn disjoint_pair_storm_keeps_per_shard_counters_exact() {
+    let nodes = 256;
+    let per_pair = 200;
+    let cluster = Cluster::new(ClusterConfig::homogeneous(nodes, "ia32-sim"));
+    let handles: Vec<_> = (0..nodes / 2)
+        .map(|pair| {
+            let cluster = cluster.clone();
+            std::thread::spawn(move || {
+                let (a, b) = (2 * pair, 2 * pair + 1);
+                for i in 0..per_pair {
+                    cluster.send(a, b, i as i64 % 16, vec![i as f64]);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(cluster.messages_sent(), (nodes / 2 * per_pair) as u64);
+    for pair in 0..nodes / 2 {
+        assert_eq!(cluster.node_messages_received(2 * pair), 0);
+        assert_eq!(
+            cluster.node_messages_received(2 * pair + 1),
+            per_pair as u64
+        );
+    }
+}

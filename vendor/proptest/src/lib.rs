@@ -11,9 +11,14 @@
 //!
 //! Generation is driven by a deterministic SplitMix64 stream seeded from the
 //! test's name, so failures reproduce exactly across runs and machines.
-//! There is **no shrinking**: a failing case reports the seed and iteration
-//! instead. The number of cases per test defaults to 64 and can be raised
-//! with the `PROPTEST_CASES` environment variable.
+//! Failing cases are **shrunk**: integer strategies walk toward the range
+//! start (binary search plus single steps), vector strategies drop and
+//! simplify elements, tuples shrink one component at a time, and the
+//! greedy descent in [`test_runner::shrink_to_minimal`] stops at a local
+//! minimum (budgeted, so it always terminates).  Non-invertible
+//! combinators (`prop_map`, `prop_oneof!`) report their failing case
+//! unshrunk.  The number of cases per test defaults to 64 and can be
+//! raised with the `PROPTEST_CASES` environment variable.
 //!
 //! Swapping the real proptest back in is a one-line change in the workspace
 //! manifest; no test source needs to change.
@@ -39,19 +44,51 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let n = rng.usize_in(self.len.clone());
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
+
+        /// Shorter first (truncate-half, then drop each element), then
+        /// element-wise simplification at the final length — all candidates
+        /// stay within the strategy's length bounds.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min_len = self.len.start;
+            let mut out = Vec::new();
+            if value.len() > min_len {
+                let half = min_len + (value.len() - min_len) / 2;
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
 pub mod test_runner {
-    //! The driver loop behind the [`proptest!`](crate::proptest) macro.
+    //! The driver loop behind the [`proptest!`](crate::proptest) macro:
+    //! case generation, failure detection and greedy shrinking.
 
+    use crate::strategy::Strategy;
     pub use crate::strategy::TestRng;
 
     /// Number of generated cases per property, from `PROPTEST_CASES`
@@ -61,6 +98,89 @@ pub mod test_runner {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(64)
+    }
+
+    /// Cap on shrink-candidate evaluations per failure, so cyclic or
+    /// enormous candidate sets can never hang a test run.
+    const SHRINK_BUDGET: usize = 4_096;
+
+    /// Run `f` with a no-op panic hook installed, restoring the previous
+    /// hook afterwards (panic-safe via a drop guard).  The search-and-shrink
+    /// phase evaluates the body on many failing candidates under
+    /// `catch_unwind`; without this, every accepted descent step would
+    /// print a full panic trace and bury the minimal-case report.  The hook
+    /// is process-global, so a concurrently *failing* other test loses its
+    /// panic message for the overlap — its failure is still reported by the
+    /// harness, and the suppression only lasts while a property is already
+    /// failing.
+    // `PanicHookInfo` is the 1.81 rename of the hook argument type; the
+    // workspace MSRV predates it, but the pinned `stable` toolchain (CI and
+    // the baked image) is far newer, so the rename is the portable spelling.
+    #[allow(clippy::incompatible_msrv)]
+    pub fn with_silent_panics<R>(f: impl FnOnce() -> R) -> R {
+        type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+        struct RestoreHook(Option<PanicHook>);
+        impl Drop for RestoreHook {
+            fn drop(&mut self) {
+                if let Some(hook) = self.0.take() {
+                    std::panic::set_hook(hook);
+                }
+            }
+        }
+        let guard = RestoreHook(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = f();
+        drop(guard);
+        result
+    }
+
+    /// Run `cases` generated inputs through `test` (`true` = property
+    /// holds).  On the first failing input, greedily shrink it and return
+    /// `(case_index, minimal_failing_value)`; `None` means every case
+    /// passed.  Deterministic: the RNG is seeded from `name`.
+    pub fn find_failure<S, F>(
+        strategy: &S,
+        name: &str,
+        cases: usize,
+        test: F,
+    ) -> Option<(usize, S::Value)>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        let mut rng = TestRng::deterministic(name);
+        for case in 0..cases {
+            let value = strategy.generate(&mut rng);
+            if !test(&value) {
+                return Some((case, shrink_to_minimal(strategy, value, test)));
+            }
+        }
+        None
+    }
+
+    /// Greedy descent: repeatedly replace the failing value with its first
+    /// still-failing shrink candidate until no candidate fails (a local
+    /// minimum) or the budget runs out.
+    pub fn shrink_to_minimal<S, F>(strategy: &S, mut failing: S::Value, test: F) -> S::Value
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        let mut budget = SHRINK_BUDGET;
+        'descend: loop {
+            for candidate in strategy.shrink(&failing) {
+                if budget == 0 {
+                    break 'descend;
+                }
+                budget -= 1;
+                if !test(&candidate) {
+                    failing = candidate;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        failing
     }
 }
 
@@ -72,7 +192,11 @@ pub mod prelude {
 }
 
 /// Define property tests: each `arg in strategy` binding is regenerated for
-/// every case and the body re-run.
+/// every case and the body re-run.  A failing case is **shrunk** to a
+/// minimal failing input (greedy descent over
+/// [`strategy::Strategy::shrink`] candidates), the minimal case is printed,
+/// and the body is re-run on it so the panic the test harness reports is
+/// the minimal one.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
@@ -80,18 +204,36 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cases = $crate::test_runner::case_count();
-                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
-                for case in 0..cases {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let strategy = ($($strategy,)+);
+                let found = $crate::test_runner::with_silent_panics(|| {
+                    $crate::test_runner::find_failure(
+                        &strategy,
+                        stringify!($name),
+                        cases,
+                        |case| {
+                            let ($($arg,)+) = ::std::clone::Clone::clone(case);
+                            let run = || -> () { $body };
+                            ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_ok()
+                        },
+                    )
+                });
+                if let Some((case, minimal)) = found {
+                    eprintln!(
+                        "proptest: property `{}` failed on case {case} of {cases}; \
+                         shrunk to minimal failing case: {minimal:?} \
+                         (seeded from the test name; rerun reproduces it)",
+                        stringify!($name),
+                    );
+                    // Re-run the minimal case outside catch_unwind so the
+                    // harness reports its actual assertion failure.
+                    let ($($arg,)+) = minimal;
                     let run = || -> () { $body };
-                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
-                        eprintln!(
-                            "proptest: property `{}` failed on case {case} of {cases} \
-                             (seeded from the test name; rerun reproduces it)",
-                            stringify!($name),
-                        );
-                        ::std::panic::resume_unwind(panic);
-                    }
+                    run();
+                    unreachable!(
+                        "proptest: property `{}` failed during the search but its \
+                         minimal case passed on re-run (non-deterministic body?)",
+                        stringify!($name),
+                    );
                 }
             }
         )*
@@ -122,6 +264,7 @@ macro_rules! prop_oneof {
 mod tests {
     use crate::prelude::*;
     use crate::strategy::TestRng;
+    use crate::test_runner;
 
     proptest! {
         #[test]
@@ -152,6 +295,59 @@ mod tests {
         let mut b = TestRng::deterministic("seed");
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_failing_int_property_shrinks_to_the_threshold() {
+        // Property "v < 10" over 0..1000: the minimal failing case is
+        // exactly 10, and the greedy descent must find it from whatever
+        // case the seeded stream failed on first.
+        let strategy = 0u64..1000;
+        let (case, minimal) = test_runner::find_failure(&strategy, "shrink-int", 256, |v| *v < 10)
+            .expect("a failing case exists in 256 draws from 0..1000");
+        assert!(case < 256);
+        assert_eq!(minimal, 10, "shrink must stop at the minimal failing value");
+        // Shrinking respects the range floor: a property failing everywhere
+        // shrinks to the range start.
+        let (_, floor) =
+            test_runner::find_failure(&(5u32..500), "shrink-floor", 16, |_| false).unwrap();
+        assert_eq!(floor, 5);
+    }
+
+    #[test]
+    fn known_failing_vec_property_shrinks_to_minimal_length_and_elements() {
+        // Property "len < 5": minimal failing case is 5 elements, each
+        // shrunk to the element strategy's floor (0 for any::<u8>).
+        let strategy = crate::collection::vec(any::<u8>(), 0..32);
+        let (_, minimal) = test_runner::find_failure(&strategy, "shrink-vec", 256, |v| v.len() < 5)
+            .expect("a failing case exists");
+        assert_eq!(minimal, vec![0u8; 5]);
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        // Fails whenever a > 3 — b is irrelevant and must shrink to its
+        // floor while a stops at the threshold 4.
+        let strategy = (0usize..100, 0i64..50);
+        let (_, minimal) =
+            test_runner::find_failure(&strategy, "shrink-tuple", 256, |(a, _b)| *a <= 3)
+                .expect("a failing case exists");
+        assert_eq!(minimal, (4, 0));
+    }
+
+    #[test]
+    fn passing_properties_report_no_failure() {
+        assert!(test_runner::find_failure(&(0u8..10), "all-pass", 64, |_| true).is_none());
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic]
+        fn known_failing_property_panics_with_the_minimal_case(v in 0usize..1000) {
+            // Exercises the macro's failure path end-to-end: search, shrink,
+            // report, re-run of the minimal case (which panics here).
+            prop_assert!(v < 10);
         }
     }
 

@@ -54,14 +54,26 @@ impl TestRng {
 
 /// A recipe for generating values of one type.
 ///
-/// Unlike real proptest there is no shrinking, so a strategy is just a
-/// deterministic function of the RNG stream.
+/// Generation is a deterministic function of the RNG stream.  Failing
+/// values are **shrunk**: [`Strategy::shrink`] proposes simpler candidate
+/// values, and the runner greedily walks toward a minimal failing case
+/// (integers shrink toward the range start / zero, vectors toward fewer
+/// and simpler elements).  Strategies that cannot invert their values
+/// (`prop_map`, `prop_oneof!`) propose nothing and simply report the
+/// original failing case.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose simpler candidates for a failing `value`, "most simplified
+    /// first".  Every candidate must itself be a value this strategy could
+    /// generate; an empty proposal list ends the shrink for this value.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values with `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -71,6 +83,22 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+}
+
+/// Shrink candidates for an integer failing value: toward `floor` (the
+/// range start, or zero for `any`), halving first so the walk is a binary
+/// search, then the immediate predecessor for the final step.
+fn shrink_int(floor: i128, value: i128) -> Vec<i128> {
+    if value == floor {
+        return Vec::new();
+    }
+    let mut out = vec![floor];
+    let mid = floor + (value - floor) / 2;
+    if mid != floor && mid != value {
+        out.push(mid);
+    }
+    out.push(if value > floor { value - 1 } else { value + 1 });
+    out
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -109,6 +137,10 @@ impl<V> Strategy for BoxedStrategy<V> {
     fn generate(&self, rng: &mut TestRng) -> V {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
 }
 
 /// Uniform choice among several strategies with a common value type
@@ -140,6 +172,10 @@ impl<V> Strategy for Union<V> {
         let pick = rng.usize_in(0..self.options.len());
         self.options[pick].generate(rng)
     }
+
+    // No `shrink`: the union does not record which option produced a value,
+    // so another option's candidates could fall outside every branch.
+    // Failing `prop_oneof!` cases are reported unshrunk.
 }
 
 /// Strategy for "any value of `T`" — full bit patterns for integers and
@@ -168,6 +204,13 @@ macro_rules! any_int {
                 fn generate(&self, rng: &mut TestRng) -> $ty {
                     rng.next_u64() as $ty
                 }
+
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_int(0, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $ty)
+                        .collect()
+                }
             }
         )*
     };
@@ -180,6 +223,14 @@ impl Strategy for Any<bool> {
 
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -210,6 +261,13 @@ macro_rules! range_strategy {
                 fn generate(&self, rng: &mut TestRng) -> $ty {
                     rng.i128_in(self.start as i128, self.end as i128) as $ty
                 }
+
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_int(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $ty)
+                        .collect()
+                }
             }
         )*
     };
@@ -218,8 +276,11 @@ macro_rules! range_strategy {
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident => $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -227,15 +288,29 @@ macro_rules! tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+
+            // One component is simplified at a time, the others cloned
+            // unchanged — the standard coordinate-descent shrink.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A => 0);
+tuple_strategy!(A => 0, B => 1);
+tuple_strategy!(A => 0, B => 1, C => 2);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
 
 /// String-pattern strategies: a `&str` is interpreted as a regex the way the
 /// workspace's tests use them — `".*"` (any string up to 64 chars) and
@@ -252,6 +327,25 @@ impl Strategy for &'static str {
         };
         let len = rng.usize_in(lo..hi + 1);
         (0..len).map(|_| random_char(rng)).collect()
+    }
+
+    /// Shrink by truncating toward the pattern's minimum length (half the
+    /// excess, then one char); characters themselves are left alone.
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let Some((lo, _)) = parse_length_pattern(self) else {
+            return Vec::new();
+        };
+        let chars: Vec<char> = value.chars().collect();
+        if chars.len() <= lo {
+            return Vec::new();
+        }
+        let half = lo + (chars.len() - lo) / 2;
+        let mut out = Vec::new();
+        if half < chars.len() {
+            out.push(chars[..half].iter().collect());
+        }
+        out.push(chars[..chars.len() - 1].iter().collect());
+        out
     }
 }
 
