@@ -4,6 +4,7 @@
 use crate::cluster::Cluster;
 use mojave_core::{DeliveryOutcome, MigrationImage, MigrationSink, PackedProcess};
 use mojave_fir::MigrateProtocol;
+use mojave_wire::CodecSet;
 
 /// [`MigrationSink`] for a process running on a cluster node.
 #[derive(Debug, Clone)]
@@ -89,6 +90,14 @@ impl MigrationSink for ClusterSink {
     /// every node (and the resurrection daemon) can reach.
     fn has_base(&self, base: &str, base_fingerprint: u64) -> bool {
         self.cluster.store().heap_fingerprint(base) == Some(base_fingerprint)
+    }
+
+    /// Codec negotiation: every in-tree daemon decodes every slab codec,
+    /// so cluster senders compress freely.  A sink wrapping a pre-v5
+    /// daemon would narrow this (the trait default is
+    /// [`CodecSet::raw_only`]) and senders would fall back to Raw.
+    fn accepted_codecs(&self) -> CodecSet {
+        CodecSet::all()
     }
 }
 

@@ -1,0 +1,86 @@
+//! Property tests: `decompress(compress(slab)) == slab` for every codec
+//! over three slab distributions (uniform, small-int-skewed, repetitive
+//! runs), and the decoders never panic on arbitrary byte soup.
+//!
+//! Failures shrink through the vendored proptest's integer/vec/tuple
+//! shrinkers, so a regression reports a minimal failing slab.
+
+use mojave_codec::{choose, compress_words, decompress_words, CodecId, CodecSet};
+use proptest::prelude::*;
+
+fn assert_roundtrip(id: CodecId, slab: &[u64]) {
+    let mut compressed = Vec::new();
+    compress_words(id, slab, &mut compressed);
+    let mut back = Vec::new();
+    decompress_words(id, &compressed, slab.len(), &mut back)
+        .unwrap_or_else(|e| panic!("{id} failed to decompress its own output: {e}"));
+    assert_eq!(back, slab, "{id} roundtrip mismatch");
+}
+
+proptest! {
+    #[test]
+    fn uniform_slabs_roundtrip(slab in proptest::collection::vec(any::<u64>(), 0..512)) {
+        for id in CodecId::ALL {
+            assert_roundtrip(id, &slab);
+        }
+    }
+
+    #[test]
+    fn small_int_skewed_slabs_roundtrip(
+        slab in proptest::collection::vec(any::<u64>().prop_map(|v| v % 1024), 0..512),
+    ) {
+        for id in CodecId::ALL {
+            assert_roundtrip(id, &slab);
+        }
+        // Small-int slabs big enough to sample must not stay Raw.
+        if slab.len() >= 64 {
+            prop_assert!(choose(&slab) != CodecId::Raw);
+        }
+    }
+
+    #[test]
+    fn repetitive_run_slabs_roundtrip(
+        runs in proptest::collection::vec((any::<u64>(), any::<u64>().prop_map(|n| n % 64 + 1)), 0..24),
+    ) {
+        let slab: Vec<u64> = runs
+            .iter()
+            .flat_map(|&(value, len)| std::iter::repeat(value).take(len as usize))
+            .collect();
+        for id in CodecId::ALL {
+            assert_roundtrip(id, &slab);
+        }
+    }
+
+    #[test]
+    fn choice_is_deterministic_and_within_the_allowed_set(
+        slab in proptest::collection::vec(any::<u64>().prop_map(|v| v % 100_000), 0..512),
+    ) {
+        for allowed in [
+            CodecSet::all(),
+            CodecSet::raw_only(),
+            CodecSet::only(CodecId::Varint),
+            CodecSet::only(CodecId::Lz),
+        ] {
+            let first = mojave_codec::choose_words(&slab, allowed);
+            prop_assert!(allowed.contains(first), "choice {} outside the set", first);
+            prop_assert_eq!(first, mojave_codec::choose_words(&slab, allowed));
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic_on_byte_soup(
+        soup in proptest::collection::vec(any::<u8>(), 0..512),
+        claimed in any::<u64>().prop_map(|n| (n % 1024) as usize),
+    ) {
+        for id in CodecId::ALL {
+            let mut out = Vec::new();
+            // Ok or Err are both acceptable; what matters is no panic and
+            // no output beyond the bounded claim.
+            let _ = decompress_words(id, &soup, claimed, &mut out);
+            prop_assert!(out.len() <= claimed);
+        }
+        let mut bytes_out = Vec::new();
+        let _ = mojave_codec::decompress_bytes(CodecId::Lz, &soup, claimed, &mut bytes_out);
+        prop_assert!(bytes_out.len() <= claimed);
+    }
+}

@@ -22,9 +22,10 @@
 use crate::backend::BytecodeProgram;
 use crate::error::RuntimeError;
 use mojave_fir::{MigrateProtocol, Program};
-use mojave_heap::{Heap, HeapConfig, PtrIdx, Word};
+use mojave_heap::{image_payload_stats, Heap, HeapConfig, ImageCodec, PtrIdx, Word};
 use mojave_wire::{
-    SectionTag, WireCodec, WireError, WireReader, WireWriter, FORMAT_VERSION, MIN_SUPPORTED_VERSION,
+    CodecSet, SectionTag, WireCodec, WireError, WireReader, WireWriter, BATCHED_VERSION,
+    FORMAT_VERSION, MIN_SUPPORTED_VERSION,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -155,6 +156,18 @@ impl MigrationImage {
     /// per-word heap blocks).
     fn is_legacy(&self) -> bool {
         self.format_version <= MIN_SUPPORTED_VERSION
+    }
+
+    /// The heap block codec this image's format version implies: v1 →
+    /// per-word, v4 → batched slabs, v5 → compressed slab frames.
+    fn heap_codec(&self) -> ImageCodec {
+        if self.format_version <= MIN_SUPPORTED_VERSION {
+            ImageCodec::PerWord
+        } else if self.format_version <= BATCHED_VERSION {
+            ImageCodec::Batched
+        } else {
+            ImageCodec::Slab
+        }
     }
 
     /// Serialise the image to the canonical wire format, using the layout
@@ -389,10 +402,10 @@ impl MigrationImage {
         match &self.heap_image {
             HeapImage::Full(bytes) => {
                 let mut r = WireReader::new(bytes);
-                let heap = if self.is_legacy() {
-                    Heap::decode_image_legacy(&mut r, config)?
-                } else {
-                    Heap::decode_image(&mut r, config)?
+                let heap = match self.heap_codec() {
+                    ImageCodec::PerWord => Heap::decode_image_legacy(&mut r, config)?,
+                    ImageCodec::Batched => Heap::decode_image(&mut r, config)?,
+                    ImageCodec::Slab => Heap::decode_image_compressed(&mut r, config)?,
                 };
                 if !r.is_empty() {
                     return Err(RuntimeError::Image(WireError::TrailingBytes {
@@ -441,7 +454,13 @@ impl MigrationImage {
         }
         let mut base_r = WireReader::new(base_bytes);
         let mut delta_r = WireReader::new(bytes);
-        let heap = Heap::decode_delta_image(&mut base_r, &mut delta_r, !base.is_legacy(), config)?;
+        let heap = Heap::decode_delta_image(
+            &mut base_r,
+            &mut delta_r,
+            base.heap_codec(),
+            self.heap_codec(),
+            config,
+        )?;
         for (r, what) in [(&base_r, "base"), (&delta_r, "delta")] {
             if !r.is_empty() {
                 return Err(RuntimeError::MigrationRejected(format!(
@@ -462,7 +481,7 @@ impl MigrationImage {
         }
         let heap = self.decode_heap_with_base(base, HeapConfig::default())?;
         let mut w = WireWriter::with_capacity(self.heap_image.len() + base.heap_image.len());
-        heap.encode_image(&mut w);
+        heap.encode_image_compressed(&mut w, CodecSet::all());
         Ok(MigrationImage {
             format_version: FORMAT_VERSION,
             heap_image: HeapImage::Full(w.into_bytes()),
@@ -525,11 +544,58 @@ pub trait MigrationSink {
     fn has_base(&self, _base: &str, _base_fingerprint: u64) -> bool {
         false
     }
+
+    /// Codec negotiation: the slab-compression codecs this sink accepts
+    /// in heap payloads.  The default is [`CodecSet::raw_only`] — a sink
+    /// that does not implement the method is assumed to predate the
+    /// compression subsystem, and senders downgrade all the way to the
+    /// **batched v4 layout and version** for it (not merely v5 Raw
+    /// frames, which a pre-v5 decoder would still reject at the header).
+    /// In-tree sinks ([`InMemorySink`], the cluster sink) advertise
+    /// [`CodecSet::all`].
+    fn accepted_codecs(&self) -> CodecSet {
+        CodecSet::raw_only()
+    }
+}
+
+/// On-wire size accounting for a [`CheckpointStore`]: the bytes images
+/// would occupy with every slab frame stored raw vs. the bytes actually
+/// stored, aggregated over the images currently present.  Computed from
+/// frame headers alone (nothing is decompressed), so compression is
+/// *observable*, not inferred.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of images currently stored.
+    pub images: usize,
+    /// Total size with every compressed frame expanded to its raw length.
+    pub raw_bytes: u64,
+    /// Total size actually stored.
+    pub stored_bytes: u64,
+}
+
+impl StoreStats {
+    /// Aggregate compression ratio, `stored / raw` (1.0 when the store is
+    /// empty or nothing is compressed; lower is better).
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.stored_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+
+    /// Bytes the slab compression saved across the stored images.
+    pub fn saved_bytes(&self) -> u64 {
+        self.raw_bytes.saturating_sub(self.stored_bytes)
+    }
 }
 
 #[derive(Debug, Default)]
 struct StoreInner {
     images: HashMap<String, Vec<u8>>,
+    /// Per-image `(raw, stored)` wire sizes, maintained by `put`/`remove`
+    /// so [`CheckpointStore::stats`] is a cheap sum.
+    sizes: HashMap<String, (u64, u64)>,
     /// Lazily computed heap-payload fingerprints, invalidated whenever the
     /// name is rewritten — keeps delta-base negotiation O(1) per
     /// checkpoint instead of decoding the base image every time.
@@ -557,9 +623,12 @@ impl CheckpointStore {
 
     /// Atomically store (replace) a named image.
     pub fn put(&self, name: &str, bytes: Vec<u8>) {
+        // Frame-header walk only — no decompression, no allocation.
+        let sizes = image_wire_sizes(&bytes).unwrap_or((bytes.len() as u64, bytes.len() as u64));
         let mut inner = self.inner.lock().expect("checkpoint store lock");
         inner.generation += 1;
         inner.fingerprints.remove(name);
+        inner.sizes.insert(name.to_owned(), sizes);
         inner.images.insert(name.to_owned(), bytes);
     }
 
@@ -675,8 +744,62 @@ impl CheckpointStore {
         let mut inner = self.inner.lock().expect("checkpoint store lock");
         inner.generation += 1;
         inner.fingerprints.remove(name);
+        inner.sizes.remove(name);
         inner.images.remove(name).is_some()
     }
+
+    /// Aggregate on-wire size accounting over the stored images.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("checkpoint store lock");
+        let mut stats = StoreStats {
+            images: inner.images.len(),
+            ..StoreStats::default()
+        };
+        for (raw, stored) in inner.sizes.values() {
+            stats.raw_bytes += raw;
+            stats.stored_bytes += stored;
+        }
+        stats
+    }
+
+    /// The `(raw, stored)` wire sizes of one stored image, or `None` if
+    /// the name is absent.
+    pub fn image_sizes(&self, name: &str) -> Option<(u64, u64)> {
+        self.inner
+            .lock()
+            .expect("checkpoint store lock")
+            .sizes
+            .get(name)
+            .copied()
+    }
+}
+
+/// Compute an encoded image's `(raw, stored)` wire sizes by walking its
+/// section frames: every byte counts toward `stored`; compressed slab
+/// frames in the heap payload contribute their declared raw length to
+/// `raw` instead of their stored payload size.  Images below v5 carry no
+/// compression, so both sides equal the byte length.  `None` for bytes
+/// that do not parse as an image (the store accepts arbitrary blobs).
+fn image_wire_sizes(bytes: &[u8]) -> Option<(u64, u64)> {
+    let stored = bytes.len() as u64;
+    let mut r = WireReader::new(bytes);
+    let header = r.read_header().ok()?;
+    if header.version <= BATCHED_VERSION {
+        return Some((stored, stored));
+    }
+    let _code = r.read_framed().ok()?; // skipped without decoding
+    let mut heap_section = r.read_framed().ok()?;
+    let (payload, delta) = match heap_section.tag() {
+        SectionTag::HeapBlocks => (heap_section.read_bytes().ok()?, false),
+        SectionTag::HeapDelta => {
+            heap_section.read_str().ok()?;
+            heap_section.read_u64().ok()?;
+            (heap_section.read_bytes().ok()?, true)
+        }
+        _ => return None,
+    };
+    let stats = image_payload_stats(payload, delta).ok()?;
+    Some((stored - stats.stored_bytes + stats.raw_bytes, stored))
 }
 
 /// Fingerprint an encoded image's heap payload without decoding the whole
@@ -754,6 +877,10 @@ impl MigrationSink for InMemorySink {
     fn has_base(&self, base: &str, base_fingerprint: u64) -> bool {
         self.store.heap_fingerprint(base) == Some(base_fingerprint)
     }
+
+    fn accepted_codecs(&self) -> CodecSet {
+        CodecSet::all()
+    }
 }
 
 #[cfg(test)]
@@ -771,7 +898,7 @@ mod tests {
         let mut heap = Heap::new();
         let env = heap.alloc_migrate_env(vec![Word::Int(5)]).unwrap();
         let mut w = WireWriter::new();
-        heap.encode_image(&mut w);
+        heap.encode_image_compressed(&mut w, CodecSet::all());
 
         MigrationImage {
             format_version: FORMAT_VERSION,
@@ -838,7 +965,7 @@ mod tests {
         heap.mark_clean();
         let extra = heap.alloc_array(3, Word::Int(8)).unwrap();
         let mut w = WireWriter::new();
-        heap.encode_delta_image(&mut w);
+        heap.encode_delta_image_compressed(&mut w, CodecSet::all());
         let delta = MigrationImage {
             heap_image: HeapImage::Delta {
                 base: "ck-base".into(),
@@ -877,7 +1004,7 @@ mod tests {
         heap.mark_clean();
         heap.store(base.migrate_env, 0, Word::Int(77)).unwrap();
         let mut w = WireWriter::new();
-        heap.encode_delta_image(&mut w);
+        heap.encode_delta_image_compressed(&mut w, CodecSet::all());
         let delta = MigrationImage {
             heap_image: HeapImage::Delta {
                 base: "ck-0".into(),
@@ -900,7 +1027,7 @@ mod tests {
         let mut other = base.decode_heap(HeapConfig::default()).unwrap();
         other.store(base.migrate_env, 0, Word::Int(-1)).unwrap();
         let mut w = WireWriter::new();
-        other.encode_image(&mut w);
+        other.encode_image_compressed(&mut w, CodecSet::all());
         let overwritten = MigrationImage {
             heap_image: HeapImage::Full(w.into_bytes()),
             ..base.clone()
@@ -915,6 +1042,51 @@ mod tests {
         assert!(store.load("ck-1").is_err());
         assert!(store.contains("ck-1"));
         assert!(!store.contains("ck-0"));
+    }
+
+    #[test]
+    fn store_stats_account_raw_vs_stored_bytes() {
+        let store = CheckpointStore::new();
+        assert_eq!(store.stats(), StoreStats::default());
+
+        // A compressible image: many small-int blocks.
+        let mut heap = Heap::new();
+        for i in 0..200 {
+            heap.alloc_array(64, Word::Int(i % 10)).unwrap();
+        }
+        let env = heap.alloc_migrate_env(vec![Word::Int(5)]).unwrap();
+        let mut w = WireWriter::new();
+        heap.encode_image_compressed(&mut w, CodecSet::all());
+        let image = MigrationImage {
+            migrate_env: env,
+            heap_image: HeapImage::Full(w.into_bytes()),
+            ..tiny_image()
+        };
+        store.put("big", image.to_bytes());
+
+        let stats = store.stats();
+        assert_eq!(stats.images, 1);
+        assert_eq!(stats.stored_bytes, image.to_bytes().len() as u64);
+        assert!(
+            stats.raw_bytes > stats.stored_bytes * 4,
+            "small-int image must compress ≥4×: {stats:?}"
+        );
+        assert!(stats.ratio() < 0.25);
+        assert_eq!(stats.saved_bytes(), stats.raw_bytes - stats.stored_bytes);
+        assert_eq!(
+            store.image_sizes("big"),
+            Some((stats.raw_bytes, stats.stored_bytes))
+        );
+
+        // Arbitrary blobs fall back to raw == stored; removal drops the
+        // accounting with the image.
+        store.put("blob", vec![1, 2, 3]);
+        let stats = store.stats();
+        assert_eq!(stats.images, 2);
+        assert_eq!(store.image_sizes("blob"), Some((3, 3)));
+        assert!(store.remove("big"));
+        assert!(store.remove("blob"));
+        assert_eq!(store.stats(), StoreStats::default());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use mojave_fir::{
     typecheck, validate, Atom, Binop, Expr, ExternEnv, FunId, MigrateProtocol, Program, Unop, VarId,
 };
 use mojave_heap::{BlockKind, Heap, HeapConfig, Word};
-use mojave_wire::WireWriter;
+use mojave_wire::{CodecId, CodecSet, WireWriter};
 use std::collections::HashMap;
 
 /// Configuration of a [`Process`].
@@ -50,6 +50,15 @@ pub struct ProcessConfig {
     /// dirtied since the last *full* image, so this bounds both delta size
     /// growth and the work a loader does resolving a checkpoint.
     pub max_delta_chain: u32,
+    /// Slab-compression codec for packed heap payloads (wire v5).
+    ///
+    /// `None` (the default) lets the encoder pick per slab — sample the
+    /// slab, take the smallest encoding among what the sink advertises
+    /// via [`MigrationSink::accepted_codecs`].  `Some(codec)` forces that
+    /// codec (benchmarks and fixtures); if the sink does not accept it,
+    /// the process falls back to [`CodecId::Raw`], which every sink
+    /// accepts.
+    pub heap_codec: Option<CodecId>,
 }
 
 impl Default for ProcessConfig {
@@ -63,6 +72,7 @@ impl Default for ProcessConfig {
             verify: true,
             delta_checkpoints: false,
             max_delta_chain: 8,
+            heap_codec: None,
         }
     }
 }
@@ -565,15 +575,38 @@ impl Process {
         self.heap.gc_major(&roots);
 
         let migrate_env = self.heap.alloc_migrate_env(args.to_vec())?;
+        // Codec negotiation: the sink advertises what it accepts; the
+        // configured preference narrows that (falling back to Raw — which
+        // every sink accepts — when the preference is not advertised), and
+        // the slab encoder picks the smallest encoding within the set.
+        // A sink advertising *only* Raw is a pre-v5 runtime (the trait
+        // default): it receives the batched v4 layout — and version — it
+        // can actually decode, not v5 frames it would reject at the
+        // header.
+        let accepted = self.sink.accepted_codecs();
+        let legacy_sink = accepted == CodecSet::raw_only();
+        let allowed = match self.config.heap_codec {
+            Some(codec) if accepted.contains(codec) => CodecSet::only(codec),
+            Some(_) => CodecSet::only(CodecId::Raw),
+            None => accepted,
+        };
         let heap_image = match delta_base {
             None => {
                 let mut w = WireWriter::with_capacity(self.heap.live_bytes() + 256);
-                self.heap.encode_image(&mut w);
+                if legacy_sink {
+                    self.heap.encode_image(&mut w);
+                } else {
+                    self.heap.encode_image_compressed(&mut w, allowed);
+                }
                 HeapImage::Full(w.into_bytes())
             }
             Some((base, base_fingerprint)) => {
                 let mut w = WireWriter::new();
-                self.heap.encode_delta_image(&mut w);
+                if legacy_sink {
+                    self.heap.encode_delta_image(&mut w);
+                } else {
+                    self.heap.encode_delta_image_compressed(&mut w, allowed);
+                }
                 HeapImage::Delta {
                     base: base.to_owned(),
                     base_fingerprint,
@@ -608,7 +641,11 @@ impl Process {
         };
 
         Ok(MigrationImage {
-            format_version: mojave_wire::FORMAT_VERSION,
+            format_version: if legacy_sink {
+                mojave_wire::BATCHED_VERSION
+            } else {
+                mojave_wire::FORMAT_VERSION
+            },
             source_arch: self.config.machine.arch().to_owned(),
             code,
             heap_image,

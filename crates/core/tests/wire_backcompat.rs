@@ -12,7 +12,8 @@ use mojave_fir::builder::{term, ProgramBuilder};
 use mojave_fir::Program;
 use mojave_heap::{HeapConfig, Word};
 use mojave_wire::{
-    SectionTag, WireCodec, WireError, WireWriter, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION,
+    SectionTag, WireCodec, WireError, WireWriter, BATCHED_VERSION, FORMAT_VERSION, MAGIC,
+    MIN_SUPPORTED_VERSION,
 };
 
 /// The program every fixture carries: `main()` (fun 0, the entry) plus the
@@ -227,7 +228,7 @@ fn golden_v4_delta_image_bytes() -> Vec<u8> {
 fn golden_v4_delta_image_still_decodes() {
     let bytes = golden_v4_delta_image_bytes();
     let image = MigrationImage::from_bytes(&bytes).expect("v4 delta image decodes");
-    assert_eq!(image.format_version, FORMAT_VERSION);
+    assert_eq!(image.format_version, BATCHED_VERSION);
     assert_eq!(image.source_arch, "ia32-sim");
     assert_eq!(image.label, 3);
     assert_eq!(image.resume_fun, Word::Fun(1));
@@ -266,6 +267,169 @@ fn golden_v4_delta_image_resolves_through_the_store_and_resumes() {
     let mut base =
         Process::from_image(store.load("grid-0-4").unwrap(), ProcessConfig::default()).unwrap();
     assert_eq!(base.run().unwrap(), RunOutcome::Exit(5));
+}
+
+/// Hand-write a **v5** checkpoint image, byte by byte — the compressed
+/// section framing this fixture pins can never silently change:
+///
+/// ```text
+/// Header        tag 0x01, magic, version=5, arch string
+/// FirProgram    tag 0x02, u32 frame length, program encoding
+/// HeapBlocks    tag 0x04, u32 frame length, length-prefixed payload:
+///                 capacity=1, used=1, then four codec-tagged frames:
+///                 meta  [raw_len=3,  codec=Raw(0),    bytes [idx=0, kind=5, len=1]]
+///                 tags  [raw_len=1,  codec=Raw(0),    bytes [1]       (Word::Int)]
+///                 words [count=1,    codec=Varint(1), bytes [10]      (zigzag Δ5)]
+///                 bytes [raw_len=0,  codec=Raw(0),    bytes []]
+/// MigrateEnv    tag 0x06, u32 frame length, ptr 0
+/// Resume        tag 0x07, u32 frame length, Word::Fun(1), label 3
+/// Speculation   tag 0x09, u32 frame length, 0 open levels
+/// ```
+fn golden_v5_heap_payload() -> Vec<u8> {
+    let mut heap = WireWriter::new();
+    heap.write_usize(1); // pointer-table capacity
+    heap.write_usize(1); // one used entry
+                         // meta frame (Raw): idx 0, BlockKind::MigrateEnv, one word.
+    heap.write_uvarint(3); // declared raw length
+    heap.write_u8(0); // CodecId::Raw
+    heap.write_bytes(&[0, 5, 1]);
+    // tag-slab frame (Raw): one Word::Int tag.
+    heap.write_uvarint(1);
+    heap.write_u8(0);
+    heap.write_bytes(&[1]);
+    // word-slab frame (Varint): the value 5 → delta 5 → zig-zag 10.
+    heap.write_uvarint(1); // word count
+    heap.write_u8(1); // CodecId::Varint
+    heap.write_bytes(&[10]);
+    // byte-slab frame (Raw): empty.
+    heap.write_uvarint(0);
+    heap.write_u8(0);
+    heap.write_bytes(&[]);
+    heap.into_bytes()
+}
+
+fn golden_v5_image_bytes() -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.write_header_versioned("ia32-sim", 5); // the v5 layout's version constant
+    {
+        let mut s = w.begin_section(SectionTag::FirProgram);
+        fixture_program().encode(&mut s);
+    }
+    {
+        let mut s = w.begin_section(SectionTag::HeapBlocks);
+        s.write_bytes(&golden_v5_heap_payload());
+    }
+    {
+        let mut s = w.begin_section(SectionTag::MigrateEnv);
+        s.write_uvarint(0);
+    }
+    {
+        let mut s = w.begin_section(SectionTag::Resume);
+        s.write_u8(6); // Word::Fun tag
+        s.write_uvarint(1); // function 1: `after`
+        s.write_uvarint(3); // migration label
+    }
+    {
+        let mut s = w.begin_section(SectionTag::Speculation);
+        s.write_uvarint(0);
+    }
+    w.into_bytes()
+}
+
+#[test]
+fn golden_v5_image_decodes_and_reencodes_byte_faithfully() {
+    let bytes = golden_v5_image_bytes();
+    let image = MigrationImage::from_bytes(&bytes).expect("v5 image decodes");
+    assert_eq!(image.format_version, FORMAT_VERSION);
+    assert_eq!(image.source_arch, "ia32-sim");
+    assert_eq!(image.label, 3);
+    assert_eq!(image.resume_fun, Word::Fun(1));
+    assert!(!image.heap_image.is_delta());
+
+    let heap = image
+        .decode_heap(HeapConfig::default())
+        .expect("compressed v5 heap decodes");
+    assert_eq!(heap.load(image.migrate_env, 0).unwrap(), Word::Int(5));
+
+    // Byte-faithful: re-encoding a decoded v5 image reproduces the
+    // hand-written fixture exactly, so the compressed section framing
+    // cannot change without this test noticing.
+    assert_eq!(image.to_bytes(), bytes);
+}
+
+#[test]
+fn golden_v5_image_resumes_execution() {
+    let store = CheckpointStore::new();
+    store.put("v5-ck", golden_v5_image_bytes());
+    let image = store.load("v5-ck").unwrap();
+    let mut process = Process::from_image(image, ProcessConfig::default()).unwrap();
+    assert_eq!(process.run().unwrap(), RunOutcome::Exit(5));
+}
+
+/// A sink that leaves `accepted_codecs` at its trait default — the
+/// stand-in for a pre-v5 runtime behind a forwarding sink.
+struct PreV5Sink;
+
+impl mojave_core::MigrationSink for PreV5Sink {
+    fn deliver(
+        &mut self,
+        _protocol: mojave_fir::MigrateProtocol,
+        _target: &str,
+        _image: &MigrationImage,
+    ) -> mojave_core::DeliveryOutcome {
+        mojave_core::DeliveryOutcome::Stored
+    }
+}
+
+#[test]
+fn legacy_sinks_receive_batched_v4_images() {
+    // Negotiation must deliver real back-compat: a sink that never heard
+    // of codecs (trait-default `accepted_codecs`) gets the batched v4
+    // layout *and version*, which a pre-v5 decoder accepts — v5 frames,
+    // even Raw ones, would be rejected at the version header.
+    let mut process = Process::new(fixture_program(), ProcessConfig::default())
+        .unwrap()
+        .with_sink(Box::new(PreV5Sink));
+    let image = process.pack(3, Word::Fun(1), &[Word::Int(5)]).unwrap();
+    assert_eq!(image.format_version, BATCHED_VERSION);
+    let heap = image.decode_heap(HeapConfig::default()).unwrap();
+    assert_eq!(heap.load(image.migrate_env, 0).unwrap(), Word::Int(5));
+    // Round trip through bytes stays v4.
+    let back = MigrationImage::from_bytes(&image.to_bytes()).unwrap();
+    assert_eq!(back.format_version, BATCHED_VERSION);
+
+    // The default sink (in-tree, codec-aware) produces v5 for the same
+    // process state.
+    assert_eq!(packed_v2_image().format_version, FORMAT_VERSION);
+}
+
+#[test]
+fn golden_fixtures_survive_the_v5_bump() {
+    // The version constants moved under this PR (FORMAT_VERSION 4 → 5);
+    // both legacy golden images must keep decoding unchanged, each under
+    // its original version, next to freshly packed v5 images.
+    let v1 = MigrationImage::from_bytes(&golden_v1_image_bytes()).expect("v1 decodes");
+    assert_eq!(v1.format_version, MIN_SUPPORTED_VERSION);
+    assert_eq!(
+        v1.decode_heap(HeapConfig::default())
+            .unwrap()
+            .load(v1.migrate_env, 0)
+            .unwrap(),
+        Word::Int(5)
+    );
+
+    let v4 = MigrationImage::from_bytes(&golden_v4_base_image_bytes()).expect("v4 decodes");
+    assert_eq!(v4.format_version, BATCHED_VERSION);
+    assert_eq!(
+        v4.decode_heap(HeapConfig::default())
+            .unwrap()
+            .load(v4.migrate_env, 0)
+            .unwrap(),
+        Word::Int(5)
+    );
+
+    assert_eq!(packed_v2_image().format_version, FORMAT_VERSION);
+    assert_eq!(FORMAT_VERSION, 5, "bump this fixture set with the format");
 }
 
 /// A freshly packed (v2) image for the corruption tests.

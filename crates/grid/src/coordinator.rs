@@ -6,6 +6,7 @@ use crate::source::worker_source;
 use crate::GridConfig;
 use mojave_cluster::{Cluster, ClusterConfig, ClusterExternals, ClusterSink};
 use mojave_core::{Process, ProcessConfig, ProcessStats, RunOutcome, RuntimeError};
+use mojave_wire::CodecId;
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::mpsc;
@@ -49,6 +50,12 @@ pub struct GridReport {
     /// exchanges, checkpoint-store writes, and any re-sends after
     /// rollbacks or resurrection).
     pub network_messages: u64,
+    /// Checkpoint-store bytes with every compressed slab frame expanded
+    /// to its raw length (see `CheckpointStore::stats`).
+    pub checkpoint_raw_bytes: u64,
+    /// Checkpoint-store bytes actually stored — with slab compression
+    /// on, strictly below [`GridReport::checkpoint_raw_bytes`].
+    pub checkpoint_stored_bytes: u64,
 }
 
 impl GridReport {
@@ -74,10 +81,16 @@ impl GridReport {
 
     /// A stable digest of every **replay-deterministic** field of the
     /// report: checksum bit patterns, rollback/checkpoint/speculation
-    /// counters, recovery flag and network traffic.  Two
+    /// counters, recovery flag and message count.  Two
     /// [`run_grid_deterministic`] runs with the same configuration, failure
-    /// plan and seed produce bit-identical digests; `wall_time` is the one
-    /// field deliberately excluded (it measures the host, not the run).
+    /// plan and seed produce bit-identical digests.  Deliberately
+    /// excluded: `wall_time` (it measures the host, not the run) and the
+    /// byte counters (`network_bytes`, checkpoint sizes) — those depend on
+    /// the negotiated slab-compression codec, and the digest asserts
+    /// *logical* replay identity, so a run with compressed checkpoints
+    /// digests identically to the same run with `CodecId::Raw`.  Byte
+    /// determinism for a fixed codec is asserted separately
+    /// (`deterministic_runs_replay_bit_identically`).
     pub fn replay_digest(&self) -> String {
         let mut out = String::new();
         for c in &self.worker_checksums {
@@ -85,13 +98,12 @@ impl GridReport {
         }
         let _ = write!(
             out,
-            "recovered={} rollbacks={} checkpoints={} deltas={} specs={} bytes={} msgs={}",
+            "recovered={} rollbacks={} checkpoints={} deltas={} specs={} msgs={}",
             self.recovered_from_failure,
             self.rollbacks,
             self.checkpoints,
             self.delta_checkpoints,
             self.speculations,
-            self.network_bytes,
             self.network_messages,
         );
         out
@@ -147,23 +159,32 @@ struct WorkerResult {
     stats: ProcessStats,
 }
 
+/// The worker-side process configuration: delta checkpoints on (the
+/// stencil's home turf) and the negotiated slab-compression codec
+/// (`None` = auto-choose per slab, the production default).
+fn worker_config(cluster: &Cluster, worker: usize, heap_codec: Option<CodecId>) -> ProcessConfig {
+    ProcessConfig {
+        machine: mojave_core::Machine::new(cluster.arch(worker)),
+        step_budget: Some(500_000_000),
+        // Periodic checkpoints of a stencil worker are the delta
+        // pipeline's home turf: between checkpoints only the field rows
+        // and loop state mutate, so deltas stay small.
+        delta_checkpoints: true,
+        heap_codec,
+        ..ProcessConfig::default()
+    }
+}
+
 fn spawn_worker(
     cluster: &Cluster,
     program: mojave_fir::Program,
     worker: usize,
+    heap_codec: Option<CodecId>,
     tx: mpsc::Sender<WorkerResult>,
 ) {
     let cluster = cluster.clone();
     thread::spawn(move || {
-        let config = ProcessConfig {
-            machine: mojave_core::Machine::new(cluster.arch(worker)),
-            step_budget: Some(500_000_000),
-            // Periodic checkpoints of a stencil worker are the delta
-            // pipeline's home turf: between checkpoints only the field rows
-            // and loop state mutate, so deltas stay small.
-            delta_checkpoints: true,
-            ..ProcessConfig::default()
-        };
+        let config = worker_config(&cluster, worker, heap_codec);
         let result = Process::new(program, config).map(|p| {
             p.with_externals(Box::new(ClusterExternals::new(cluster.clone(), worker)))
                 .with_sink(Box::new(ClusterSink::new(cluster.clone(), worker)))
@@ -205,6 +226,7 @@ fn latest_checkpoint(cluster: &Cluster, worker: usize) -> Option<(String, u64)> 
 fn resurrect(
     cluster: &Cluster,
     worker: usize,
+    heap_codec: Option<CodecId>,
     tx: mpsc::Sender<WorkerResult>,
 ) -> Result<(), GridError> {
     let (name, _step) =
@@ -216,12 +238,7 @@ fn resurrect(
     cluster.revive_node(worker);
     let cluster = cluster.clone();
     thread::spawn(move || {
-        let config = ProcessConfig {
-            machine: mojave_core::Machine::new(cluster.arch(worker)),
-            step_budget: Some(500_000_000),
-            delta_checkpoints: true,
-            ..ProcessConfig::default()
-        };
+        let config = worker_config(&cluster, worker, heap_codec);
         let result = Process::from_image(image, config).map(|p| {
             p.with_externals(Box::new(ClusterExternals::new(cluster.clone(), worker)))
                 .with_sink(Box::new(ClusterSink::new(cluster.clone(), worker)))
@@ -250,7 +267,7 @@ pub fn run_grid(
 ) -> Result<GridReport, GridError> {
     let mut cluster_config = ClusterConfig::new(config.workers);
     cluster_config.recv_timeout = Duration::from_millis(1_500);
-    run_grid_on(Cluster::new(cluster_config), config, failure)
+    run_grid_on(Cluster::new(cluster_config), config, failure, None)
 }
 
 /// Run the grid computation in the cluster's **deterministic simulation
@@ -265,10 +282,26 @@ pub fn run_grid_deterministic(
     failure: Option<FailurePlan>,
     seed: u64,
 ) -> Result<GridReport, GridError> {
+    run_grid_deterministic_with_codec(config, failure, seed, None)
+}
+
+/// [`run_grid_deterministic`] with an explicit slab-compression codec for
+/// worker checkpoints: `None` auto-chooses per slab (the production
+/// default), `Some(CodecId::Raw)` disables compression.  The codec only
+/// changes checkpoint *bytes*, never control flow — the same
+/// configuration, failure plan and seed produce the same
+/// [`GridReport::replay_digest`] under every codec.
+pub fn run_grid_deterministic_with_codec(
+    config: &GridConfig,
+    failure: Option<FailurePlan>,
+    seed: u64,
+    heap_codec: Option<CodecId>,
+) -> Result<GridReport, GridError> {
     run_grid_on(
         Cluster::new(ClusterConfig::deterministic(config.workers, seed)),
         config,
         failure,
+        heap_codec,
     )
 }
 
@@ -276,6 +309,7 @@ fn run_grid_on(
     cluster: Cluster,
     config: &GridConfig,
     failure: Option<FailurePlan>,
+    heap_codec: Option<CodecId>,
 ) -> Result<GridReport, GridError> {
     let source = worker_source(config);
     let program = mojave_lang::compile_source(&source).map_err(GridError::Compile)?;
@@ -292,7 +326,7 @@ fn run_grid_on(
     let start = Instant::now();
     let (tx, rx) = mpsc::channel();
     for worker in 0..config.workers {
-        spawn_worker(&cluster, program.clone(), worker, tx.clone());
+        spawn_worker(&cluster, program.clone(), worker, heap_codec, tx.clone());
     }
 
     // Wall-clock failure injection: block on the cluster's checkpoint
@@ -342,7 +376,7 @@ fn run_grid_on(
                 if injected {
                     // The paper's resurrection daemon: restart the failed
                     // computation from its last checkpoint.
-                    resurrect(&cluster, result.worker, tx.clone())?;
+                    resurrect(&cluster, result.worker, heap_codec, tx.clone())?;
                     recovered = true;
                 } else {
                     return Err(GridError::Worker {
@@ -354,6 +388,7 @@ fn run_grid_on(
         }
     }
 
+    let store_stats = cluster.store().stats();
     Ok(GridReport {
         worker_checksums: checksums,
         reference_checksums: reference_checksums(config),
@@ -365,6 +400,8 @@ fn run_grid_on(
         wall_time: start.elapsed(),
         network_bytes: cluster.bytes_transferred(),
         network_messages: cluster.messages_sent(),
+        checkpoint_raw_bytes: store_stats.raw_bytes,
+        checkpoint_stored_bytes: store_stats.stored_bytes,
     })
 }
 
@@ -396,6 +433,14 @@ mod tests {
         assert_eq!(report.delta_checkpoints, report.checkpoints - 3);
         assert!(report.speculations >= report.checkpoints);
         assert!(report.network_bytes > 0);
+        // Slab compression is observable in the store accounting, not
+        // inferred: checkpoints ship fewer bytes than their raw frames.
+        assert!(
+            report.checkpoint_stored_bytes < report.checkpoint_raw_bytes,
+            "stored {} vs raw {}",
+            report.checkpoint_stored_bytes,
+            report.checkpoint_raw_bytes
+        );
     }
 
     #[test]
@@ -416,9 +461,40 @@ mod tests {
         assert!(a.recovered_from_failure);
         let b = run_grid_deterministic(&config, failure, 0xD5EED).expect("replay");
         assert_eq!(a.replay_digest(), b.replay_digest());
+        // The digest is wire-size-independent by design; byte determinism
+        // for a fixed codec is asserted separately here.
+        assert_eq!(a.network_bytes, b.network_bytes);
+        assert_eq!(a.checkpoint_stored_bytes, b.checkpoint_stored_bytes);
         // Surviving neighbours of the victim roll back exactly once each in
         // deterministic mode — no scheduling-dependent MSG_ROLL spinning.
         assert_eq!(a.rollbacks, 2);
+    }
+
+    #[test]
+    fn compressed_checkpoints_replay_identically_to_raw() {
+        // The slab codec changes checkpoint bytes, never control flow: a
+        // deterministic run with compressed checkpoints reproduces the
+        // digest of the same run with compression off.
+        let config = GridConfig {
+            workers: 4,
+            rows_per_worker: 3,
+            cols: 6,
+            timesteps: 8,
+            checkpoint_interval: 2,
+        };
+        let failure = Some(FailurePlan {
+            victim: 1,
+            after_checkpoints: 1,
+        });
+        let compressed =
+            run_grid_deterministic_with_codec(&config, failure, 0xC0DEC, None).expect("compressed");
+        let raw = run_grid_deterministic_with_codec(&config, failure, 0xC0DEC, Some(CodecId::Raw))
+            .expect("raw");
+        assert!(compressed.is_correct() && raw.is_correct());
+        assert_eq!(compressed.replay_digest(), raw.replay_digest());
+        // And the codec demonstrably did something: same logical run,
+        // fewer stored bytes.
+        assert!(compressed.checkpoint_stored_bytes < raw.checkpoint_stored_bytes);
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub mod coordinator;
 pub mod reference;
 pub mod source;
 
-pub use coordinator::{run_grid, run_grid_deterministic, FailurePlan, GridError, GridReport};
+pub use coordinator::{
+    run_grid, run_grid_deterministic, run_grid_deterministic_with_codec, FailurePlan, GridError,
+    GridReport,
+};
 pub use reference::reference_checksums;
 pub use source::worker_source;
 

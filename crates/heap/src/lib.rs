@@ -70,7 +70,9 @@ pub use block::{Block, BlockData, BlockHeader, BlockKind, Generation};
 pub use cow::SpecLevelRecord;
 pub use error::HeapError;
 pub use gc::GcKind;
-pub use heap::{Heap, HeapConfig, HEADER_OVERHEAD_BYTES};
+pub use heap::{
+    image_payload_stats, Heap, HeapConfig, ImageCodec, PayloadWireStats, HEADER_OVERHEAD_BYTES,
+};
 pub use pointer_table::{PointerTable, PtrIdx};
 pub use stats::HeapStats;
 pub use word::Word;

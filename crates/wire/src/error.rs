@@ -1,5 +1,6 @@
 //! Decode-side error type.
 
+use mojave_codec::CodecError;
 use std::fmt;
 
 /// Errors produced while decoding a wire image.
@@ -62,9 +63,19 @@ pub enum WireError {
         /// Number of unconsumed bytes.
         remaining: usize,
     },
+    /// A compressed slab frame failed to decompress (truncated payload,
+    /// bad LZ copy offset, size mismatch against the declared raw length,
+    /// …).  Wraps the precise [`CodecError`] from `mojave-codec`.
+    Codec(CodecError),
     /// A semantic constraint was violated (e.g. an index out of range for
     /// the table it refers to).  Carries a human-readable description.
     Invalid(String),
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> WireError {
+        WireError::Codec(e)
+    }
 }
 
 impl fmt::Display for WireError {
@@ -100,6 +111,7 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after top-level value")
             }
+            WireError::Codec(e) => write!(f, "compressed frame rejected: {e}"),
             WireError::Invalid(msg) => write!(f, "invalid image: {msg}"),
         }
     }

@@ -25,8 +25,10 @@
 //! [`FORMAT_VERSION`]; decoders accept any version down to
 //! [`MIN_SUPPORTED_VERSION`] and pick the matching layout, so checkpoints
 //! written by older runtimes stay loadable while new images use the
-//! batched v2 layout (framed [`SectionReader`]/[`SectionWriter`] sections,
-//! `write_words`/`read_words_into` slab encoding — see
+//! compressed v5 layout: framed [`SectionReader`]/[`SectionWriter`]
+//! sections whose heap payloads carry **codec-tagged compressed slab
+//! frames** (`write_word_frame`/`read_word_frame_into`, backed by the
+//! `mojave-codec` subsystem — see the "Compression" chapter of
 //! `docs/WIRE_FORMAT.md`).
 //!
 //! ```
@@ -54,9 +56,18 @@ mod tags;
 mod writer;
 
 pub use error::WireError;
-pub use reader::{ImageHeader, SectionReader, WireReader, MAX_REASONABLE_LEN};
-pub use tags::{SectionTag, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION};
+pub use reader::{FrameStats, ImageHeader, SectionReader, WireReader, MAX_REASONABLE_LEN};
+pub use tags::{SectionTag, BATCHED_VERSION, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION};
 pub use writer::{SectionWriter, WireWriter};
+
+// The slab-compression subsystem: re-exported so every consumer of the
+// wire format (heap, core, cluster, grid, benches) names codecs through
+// one crate.
+pub use mojave_codec::{
+    choose, choose_bytes, choose_words, compress_bytes, compress_lz_bytes, compress_words,
+    decompress_bytes, decompress_lz_bytes, decompress_words, CodecError, CodecId, CodecSet,
+    SlabCodec, VarintStream, CHOICE_SAMPLE_WORDS,
+};
 
 /// 64-bit FNV-1a fingerprint of a byte payload.
 ///

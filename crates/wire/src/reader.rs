@@ -2,6 +2,7 @@
 
 use crate::error::WireError;
 use crate::tags::{SectionTag, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION};
+use mojave_codec::CodecId;
 use std::ops::{Deref, DerefMut};
 
 /// Sanity bound on any single length prefix.  Migration images for the
@@ -230,6 +231,83 @@ impl<'a> WireReader<'a> {
         Ok(len)
     }
 
+    /// Decode a compressed frame's `(declared length, codec id)` header,
+    /// bounding the untrusted declared length **before** anything is
+    /// allocated for it.
+    fn read_frame_header(&mut self, context: &'static str) -> Result<(usize, CodecId), WireError> {
+        let declared = self.read_uvarint()?;
+        if declared > MAX_REASONABLE_LEN {
+            return Err(WireError::LengthOverflow {
+                context,
+                len: declared,
+            });
+        }
+        let byte = self.read_u8()?;
+        let codec = CodecId::from_u8(byte).ok_or(WireError::BadTag {
+            context: "codec id",
+            tag: byte as u64,
+        })?;
+        Ok((declared as usize, codec))
+    }
+
+    /// Read a compressed word-slab frame written by
+    /// [`crate::WireWriter::write_word_frame`], appending the decoded words
+    /// to `out` and returning how many were read.
+    ///
+    /// Untrusted-input discipline: the declared word count is bounded by
+    /// [`MAX_REASONABLE_LEN`] before allocation, the compressed payload is
+    /// sliced with one bounds check, and the codec layer enforces that the
+    /// payload produces *exactly* the declared count — a frame claiming a
+    /// gigantic slab over a few payload bytes fails with a precise error
+    /// after allocating no more than the payload justifies.
+    pub fn read_word_frame_into(&mut self, out: &mut Vec<u64>) -> Result<usize, WireError> {
+        let (count, codec) = self.read_frame_header("word frame")?;
+        if count as u64 > MAX_REASONABLE_LEN / 8 {
+            return Err(WireError::LengthOverflow {
+                context: "word frame",
+                len: count as u64,
+            });
+        }
+        let payload = self.read_bytes()?;
+        mojave_codec::decompress_words(codec, payload, count, out)?;
+        Ok(count)
+    }
+
+    /// Read a compressed byte-slab frame written by
+    /// [`crate::WireWriter::write_byte_frame`], returning the decompressed
+    /// bytes.  Same untrusted-input bounds as
+    /// [`WireReader::read_word_frame_into`]; a word-slab codec id in a
+    /// byte frame is a [`WireError::Codec`] error.
+    pub fn read_byte_frame(&mut self) -> Result<Vec<u8>, WireError> {
+        let (raw_len, codec) = self.read_frame_header("byte frame")?;
+        let payload = self.read_bytes()?;
+        let mut out = Vec::new();
+        mojave_codec::decompress_bytes(codec, payload, raw_len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Advance past a word frame without decompressing it, returning its
+    /// wire statistics (used by checkpoint-store size accounting).
+    pub fn skip_word_frame(&mut self) -> Result<FrameStats, WireError> {
+        let (count, _) = self.read_frame_header("word frame")?;
+        let payload = self.read_bytes()?;
+        Ok(FrameStats {
+            raw_bytes: count as u64 * 8,
+            stored_bytes: payload.len() as u64,
+        })
+    }
+
+    /// Advance past a byte frame without decompressing it, returning its
+    /// wire statistics.
+    pub fn skip_byte_frame(&mut self) -> Result<FrameStats, WireError> {
+        let (raw_len, _) = self.read_frame_header("byte frame")?;
+        let payload = self.read_bytes()?;
+        Ok(FrameStats {
+            raw_bytes: raw_len as u64,
+            stored_bytes: payload.len() as u64,
+        })
+    }
+
     /// Read the next framed section regardless of its tag (v2 image
     /// layout): tag byte, u32-LE body length, body.  The cursor advances
     /// past the whole section; the body is returned as a [`SectionReader`]
@@ -258,6 +336,26 @@ impl<'a> WireReader<'a> {
             });
         }
         Ok(section)
+    }
+}
+
+/// Wire statistics of one compressed slab frame: the size its content
+/// claims uncompressed vs. the bytes it actually occupies on the wire.
+/// Produced by [`WireReader::skip_word_frame`] /
+/// [`WireReader::skip_byte_frame`] without decompressing anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Decompressed size the frame header declares.
+    pub raw_bytes: u64,
+    /// Compressed payload bytes stored on the wire.
+    pub stored_bytes: u64,
+}
+
+impl FrameStats {
+    /// Accumulate another frame's statistics.
+    pub fn add(&mut self, other: FrameStats) {
+        self.raw_bytes += other.raw_bytes;
+        self.stored_bytes += other.stored_bytes;
     }
 }
 

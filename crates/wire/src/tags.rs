@@ -6,16 +6,22 @@
 /// handy when inspecting checkpoint files on disk.
 pub const MAGIC: u32 = 0x4556_4A4D;
 
-/// Current version of the wire format — the **v2 image layout**: framed,
-/// length-prefixed sections and batched (slab-encoded) heap blocks, with
-/// optional delta-against-base heap payloads.  See `docs/WIRE_FORMAT.md`
-/// for the byte-level specification.
-pub const FORMAT_VERSION: u32 = 4;
+/// Current version of the wire format — the **v5 image layout**: framed,
+/// length-prefixed sections whose heap payloads carry **codec-tagged
+/// compressed slab frames** (see `mojave-codec` and the "Compression"
+/// chapter of `docs/WIRE_FORMAT.md`), with optional delta-against-base
+/// heap payloads.
+pub const FORMAT_VERSION: u32 = 5;
+
+/// The **batched (v4) image layout**: framed sections and slab-encoded
+/// heap blocks, no compression.  Decoders still accept it; encoders only
+/// produce it when regenerating back-compat fixtures.
+pub const BATCHED_VERSION: u32 = 4;
 
 /// Oldest format version this runtime still decodes: the **v1 image
 /// layout** (unframed sections, per-word heap encoding).  Encoders only
-/// ever produce [`FORMAT_VERSION`]; v1 support exists so checkpoint images
-/// written before the batched pipeline landed remain loadable.
+/// ever produce [`FORMAT_VERSION`]; v1 and [`BATCHED_VERSION`] support
+/// exists so checkpoint images written by older runtimes remain loadable.
 pub const MIN_SUPPORTED_VERSION: u32 = 3;
 
 /// Section tags delimit the major regions of a migration image so that a

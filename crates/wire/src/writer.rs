@@ -1,6 +1,7 @@
 //! The encode half of the wire format.
 
 use crate::tags::{SectionTag, FORMAT_VERSION, MAGIC};
+use mojave_codec::CodecId;
 use std::ops::{Deref, DerefMut};
 
 /// Append-only encoder producing the canonical Mojave byte format.
@@ -132,6 +133,60 @@ impl WireWriter {
         self.buf.resize(start + words.len() * 8, 0);
         for (chunk, word) in self.buf[start..].chunks_exact_mut(8).zip(words) {
             chunk.copy_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    /// Write a codec-tagged compressed **word-slab frame** (v5 images):
+    /// uvarint word count, codec id byte, then the length-prefixed
+    /// compressed payload.  Decode with
+    /// [`crate::WireReader::read_word_frame_into`].
+    ///
+    /// `codec` is typically picked by [`mojave_codec::choose_words`]; the
+    /// [`CodecId::Raw`] fast path writes the slab bytes directly (no
+    /// staging copy), so an incompressible slab costs the same as
+    /// [`WireWriter::write_words`] plus one id byte.
+    pub fn write_word_frame(&mut self, words: &[u64], codec: CodecId) {
+        self.write_uvarint(words.len() as u64);
+        self.write_u8(codec as u8);
+        if codec == CodecId::Raw {
+            self.write_uvarint(words.len() as u64 * 8);
+            let start = self.buf.len();
+            self.buf.resize(start + words.len() * 8, 0);
+            for (chunk, word) in self.buf[start..].chunks_exact_mut(8).zip(words) {
+                chunk.copy_from_slice(&word.to_le_bytes());
+            }
+        } else {
+            let mut payload = Vec::new();
+            mojave_codec::compress_words(codec, words, &mut payload);
+            self.write_bytes(&payload);
+        }
+    }
+
+    /// Write a word frame from already-compressed parts: `payload` must
+    /// be `codec`'s valid encoding of exactly `word_count` words —
+    /// produced e.g. by a streaming [`mojave_codec::VarintStream`] fused
+    /// into the caller's staging loop.  The normal entry point is
+    /// [`WireWriter::write_word_frame`].
+    pub fn write_word_frame_parts(&mut self, word_count: usize, codec: CodecId, payload: &[u8]) {
+        self.write_uvarint(word_count as u64);
+        self.write_u8(codec as u8);
+        self.write_bytes(payload);
+    }
+
+    /// Write a codec-tagged compressed **byte-slab frame** (v5 images):
+    /// uvarint raw length, codec id byte, then the length-prefixed
+    /// compressed payload.  Only [`CodecId::byte_capable`] codecs apply;
+    /// pick one with [`mojave_codec::choose_bytes`].  Decode with
+    /// [`crate::WireReader::read_byte_frame`].
+    pub fn write_byte_frame(&mut self, bytes: &[u8], codec: CodecId) {
+        self.write_uvarint(bytes.len() as u64);
+        self.write_u8(codec as u8);
+        if codec == CodecId::Raw {
+            self.write_bytes(bytes);
+        } else {
+            let mut payload = Vec::new();
+            mojave_codec::compress_bytes(codec, bytes, &mut payload);
+            self.write_bytes(&payload);
         }
     }
 

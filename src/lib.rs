@@ -8,6 +8,7 @@
 //! This crate simply re-exports the workspace members so that examples,
 //! integration tests and downstream users can depend on a single crate:
 //!
+//! * [`codec`] — slab compression for checkpoint and migration images,
 //! * [`wire`] — architecture-independent binary encoding for images,
 //! * [`fir`] — the semi-functional intermediate representation,
 //! * [`heap`] — runtime heap, pointer table and garbage collector,
@@ -42,6 +43,7 @@
 //! ```
 
 pub use mojave_cluster as cluster;
+pub use mojave_codec as codec;
 pub use mojave_core as core;
 pub use mojave_fir as fir;
 pub use mojave_grid as grid;

@@ -8,7 +8,10 @@
 //! (`cargo test --release --test cluster_stress -- --ignored`).
 
 use mojave::cluster::{Cluster, ClusterConfig};
-use mojave::grid::{run_grid_deterministic, FailurePlan, GridConfig, GridReport};
+use mojave::grid::{
+    run_grid_deterministic, run_grid_deterministic_with_codec, FailurePlan, GridConfig, GridReport,
+};
+use mojave::wire::CodecId;
 
 fn stress_config(workers: usize) -> GridConfig {
     GridConfig {
@@ -59,6 +62,38 @@ fn sixty_four_node_failure_run_replays_bit_identically() {
     // Every worker checkpoints timesteps/interval times; the victim's
     // resurrected incarnation re-writes its post-failure checkpoints.
     assert!(report.checkpoints >= (64 * 6 / 2) as u64);
+}
+
+/// Wire v5 acceptance: a deterministic 64-node grid replay with
+/// **compressed** checkpoints (the production default — slab codecs
+/// auto-chosen per image) reproduces the same `replay_digest` as the
+/// identical run with compression disabled.  The codec moves bytes, never
+/// control flow; and it demonstrably moves them — the compressed run
+/// stores strictly fewer checkpoint bytes.
+#[test]
+fn sixty_four_node_compressed_checkpoints_replay_like_raw() {
+    let config = stress_config(64);
+    let failure = Some(FailurePlan {
+        victim: 40,
+        after_checkpoints: 1,
+    });
+    let compressed = run_grid_deterministic_with_codec(&config, failure, 0xC0DEC5, None)
+        .expect("compressed run succeeds");
+    let raw = run_grid_deterministic_with_codec(&config, failure, 0xC0DEC5, Some(CodecId::Raw))
+        .expect("raw run succeeds");
+    assert!(compressed.is_correct() && raw.is_correct());
+    assert!(compressed.recovered_from_failure);
+    assert_eq!(
+        compressed.replay_digest(),
+        raw.replay_digest(),
+        "slab compression must not perturb the replay"
+    );
+    assert!(
+        compressed.checkpoint_stored_bytes < raw.checkpoint_stored_bytes,
+        "compressed {} vs raw {} stored bytes",
+        compressed.checkpoint_stored_bytes,
+        raw.checkpoint_stored_bytes
+    );
 }
 
 /// Different seeds drive different virtual-time schedules but identical
