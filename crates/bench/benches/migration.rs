@@ -14,8 +14,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mojave_bench::{mutate_percent, populate_heap, process_with_heap};
 use mojave_cluster::CostModel;
-use mojave_core::{Process, ProcessConfig};
+use mojave_core::{InMemorySink, MigrationSink, Process, ProcessConfig};
+use mojave_fir::MigrateProtocol;
+use mojave_grid::{FailurePlan, GridConfig, GridOptions};
 use mojave_heap::{Heap, HeapConfig, Word};
+use mojave_runtime::{AsyncSink, PipelineConfig};
 use mojave_wire::{CodecId, CodecSet, WireReader, WireWriter};
 use std::time::{Duration, Instant};
 
@@ -362,6 +365,174 @@ fn codec_compression(c: &mut Criterion) {
     );
 }
 
+/// The asynchronous checkpoint pipeline's two acceptance gates, asserted
+/// in-bench so `cargo bench --bench migration -- pause` fails loudly on a
+/// regression:
+///
+/// 1. **Pause gate** — the mutator pause of an asynchronous checkpoint
+///    (zero-pause heap freeze + pipeline submission) on the 1 MiB heap is
+///    ≤ 10 % of the synchronous checkpoint time (pack + deliver, which
+///    includes the encode the pipeline moves off-thread).  Both sides are
+///    deterministic medians of the same workload on the same substrate,
+///    so the ratio gate is stable where an absolute timing gate would
+///    flake.
+/// 2. **Replay gate** — a 64-node deterministic grid run produces an
+///    identical replay digest with `async_checkpoints` enabled and
+///    disabled (drain barriers make the pipeline's side effects land at
+///    the synchronous points).
+fn async_pause(c: &mut Criterion) {
+    const HEAP_BYTES: usize = 1024 * 1024;
+
+    let mut group = c.benchmark_group("migration/pause");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("sync_checkpoint_1MiB", |b| {
+        let (mut process, roots) = process_with_heap(HEAP_BYTES, false);
+        let mut sink = InMemorySink::new();
+        let mut n = 0u32;
+        b.iter(|| {
+            let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
+            n += 1;
+            sink.deliver(MigrateProtocol::Checkpoint, &format!("ck-{n}"), &image)
+        });
+    });
+    group.bench_function("async_submit_1MiB", |b| {
+        let (mut process, roots) = process_with_heap(HEAP_BYTES, false);
+        // A deep queue so the timed region is pure freeze + submission;
+        // the worker drains it concurrently.
+        let mut sink = AsyncSink::new(
+            Box::new(InMemorySink::new()),
+            PipelineConfig {
+                queue_capacity: 1 << 14,
+                ..PipelineConfig::default()
+            },
+        );
+        let mut n = 0u32;
+        b.iter(|| {
+            let pack = process
+                .pack_snapshot(0, Word::Fun(0), &roots, None)
+                .expect("pack");
+            n += 1;
+            sink.deliver_deferred(MigrateProtocol::Checkpoint, &format!("ck-{n}"), pack)
+        });
+        sink.drain();
+    });
+    group.finish();
+
+    // Both gates cost real work (ten 1 MiB checkpoints; four 64-node grid
+    // runs), so they are skipped when a CLI filter excludes the pause
+    // group — e.g. the CI codec smoke leg, which must not flake on a
+    // noisy runner's pause timing.
+    let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+    if filter
+        .as_deref()
+        .is_some_and(|f| !"migration/pause".contains(f))
+    {
+        return;
+    }
+
+    // Gate 1: hand-rolled medians (independent of the harness), drained
+    // between reps so queue state never leaks into the timed region.
+    let median_ns = |f: &mut dyn FnMut()| -> u64 {
+        let mut times: Vec<u64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        times[2]
+    };
+    let (mut process, roots) = process_with_heap(HEAP_BYTES, false);
+    let mut sync_sink = InMemorySink::new();
+    let mut n = 0u32;
+    let t_sync = median_ns(&mut || {
+        let image = process.pack(0, Word::Fun(0), &roots).expect("pack");
+        n += 1;
+        sync_sink.deliver(MigrateProtocol::Checkpoint, &format!("ck-{n}"), &image);
+    });
+    let mut async_sink = AsyncSink::new(Box::new(InMemorySink::new()), PipelineConfig::default());
+    let mut pause_times: Vec<u64> = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        let pack = process
+            .pack_snapshot(0, Word::Fun(0), &roots, None)
+            .expect("pack");
+        n += 1;
+        async_sink.deliver_deferred(MigrateProtocol::Checkpoint, &format!("ck-{n}"), pack);
+        pause_times.push(start.elapsed().as_nanos() as u64);
+        // Untimed: keep the queue empty so every rep measures a fresh,
+        // unblocked submission.
+        async_sink.drain();
+    }
+    pause_times.sort_unstable();
+    let t_pause = pause_times[2];
+    let stats = async_sink.stats();
+    eprintln!();
+    eprintln!(
+        "async checkpoint pause on the 1 MiB heap: {:.1} µs vs {:.1} µs synchronous \
+         ({:.1} % — gate: ≤ 10 %); pipeline encode {:.1} µs/checkpoint off-thread",
+        t_pause as f64 / 1e3,
+        t_sync as f64 / 1e3,
+        t_pause as f64 * 100.0 / t_sync as f64,
+        stats.encode_ns as f64 / stats.completed.max(1) as f64 / 1e3,
+    );
+    assert!(
+        t_pause * 10 <= t_sync,
+        "pause regression: async checkpoint pause {t_pause} ns exceeds 10% of the \
+         synchronous checkpoint time {t_sync} ns"
+    );
+
+    // Gate 2: 64-node deterministic replay digest, async on vs off.
+    {
+        let config = GridConfig {
+            workers: 64,
+            rows_per_worker: 2,
+            cols: 4,
+            timesteps: 6,
+            checkpoint_interval: 2,
+        };
+        let failure = Some(FailurePlan {
+            victim: 23,
+            after_checkpoints: 1,
+        });
+        let seed = 0x0A57_AC1D;
+        let sync = mojave_grid::run_grid_with(
+            &config,
+            failure,
+            GridOptions {
+                seed: Some(seed),
+                ..GridOptions::default()
+            },
+        )
+        .expect("sync 64-node run");
+        let asynchronous = mojave_grid::run_grid_with(
+            &config,
+            failure,
+            GridOptions {
+                seed: Some(seed),
+                async_checkpoints: true,
+                ..GridOptions::default()
+            },
+        )
+        .expect("async 64-node run");
+        assert!(sync.is_correct() && asynchronous.is_correct());
+        assert_eq!(
+            sync.replay_digest(),
+            asynchronous.replay_digest(),
+            "64-node deterministic replay digest must be identical with \
+             async_checkpoints on and off"
+        );
+        eprintln!(
+            "64-node deterministic replay digest identical with async checkpoints \
+             on/off ({} checkpoints, {} deltas)",
+            asynchronous.checkpoints, asynchronous.delta_checkpoints
+        );
+    }
+}
+
 criterion_group!(
     benches,
     fir_migration,
@@ -369,6 +540,7 @@ criterion_group!(
     recompilation_share,
     heap_encode_paths,
     delta_vs_full_checkpoints,
-    codec_compression
+    codec_compression,
+    async_pause
 );
 criterion_main!(benches);

@@ -60,7 +60,7 @@ pub use externals::{DefaultExternals, ExtCall, Externals, MSG_OK, MSG_ROLL};
 pub use machine::Machine;
 pub use migrate::{
     CheckpointStore, DeliveryOutcome, HeapImage, InMemorySink, MigrationImage, MigrationSink,
-    PackedProcess, StoreStats,
+    PackedProcess, PipelineStats, SnapshotPack, StoreStats,
 };
 pub use process::{Process, ProcessConfig, ProcessStats, RunOutcome};
 pub use speculate::SpeculationManager;

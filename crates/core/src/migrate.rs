@@ -22,13 +22,14 @@
 use crate::backend::BytecodeProgram;
 use crate::error::RuntimeError;
 use mojave_fir::{MigrateProtocol, Program};
-use mojave_heap::{image_payload_stats, Heap, HeapConfig, ImageCodec, PtrIdx, Word};
+use mojave_heap::{image_payload_stats, Heap, HeapConfig, HeapSnapshot, ImageCodec, PtrIdx, Word};
 use mojave_wire::{
     CodecSet, SectionTag, WireCodec, WireError, WireReader, WireWriter, BATCHED_VERSION,
     FORMAT_VERSION, MIN_SUPPORTED_VERSION,
 };
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// The code section of a migration image.
 #[derive(Debug, Clone, PartialEq)]
@@ -472,6 +473,27 @@ impl MigrationImage {
         Ok(heap)
     }
 
+    /// The image's heap-payload `(raw, stored)` wire sizes: `stored` is
+    /// the payload's byte length; for v5 payloads `raw` expands every
+    /// compressed slab frame to its declared raw length (frame headers
+    /// only — nothing is decompressed).  Pre-v5 payloads carry no
+    /// compression, so both sides equal the byte length.  Used by the
+    /// asynchronous pipeline's byte accounting.
+    pub fn heap_payload_wire_stats(&self) -> (u64, u64) {
+        let bytes = match &self.heap_image {
+            HeapImage::Full(bytes) | HeapImage::Delta { bytes, .. } => bytes,
+        };
+        let stored = bytes.len() as u64;
+        if self.heap_codec() == ImageCodec::Slab {
+            match image_payload_stats(bytes, self.heap_image.is_delta()) {
+                Ok(stats) => (stats.raw_bytes, stats.stored_bytes),
+                Err(_) => (stored, stored),
+            }
+        } else {
+            (stored, stored)
+        }
+    }
+
     /// Materialise a delta image into an equivalent self-contained full
     /// image by applying it to `base`.  The resulting image decodes
     /// anywhere a freshly packed one does.
@@ -522,6 +544,145 @@ pub enum DeliveryOutcome {
     Failed(String),
 }
 
+/// A process checkpoint captured up to — but not including — the expensive
+/// encode: the code section, resume metadata and a **zero-pause
+/// [`HeapSnapshot`]** of the heap ([`crate::Process::pack_snapshot`]).
+///
+/// This is the unit the asynchronous checkpoint pipeline moves off the
+/// mutator thread: producing it costs O(pointer-table); turning it into a
+/// [`MigrationImage`] ([`SnapshotPack::into_image`] — codec choice, slab
+/// staging, compression) is the part a pipeline worker runs concurrently
+/// with the mutator.
+#[derive(Debug)]
+pub struct SnapshotPack {
+    /// Wire format version the encoded image will carry.
+    pub format_version: u32,
+    /// Architecture tag of the packing machine.
+    pub source_arch: String,
+    /// The code section (FIR or compiled bytecode), shared with the
+    /// process so freezing does not deep-clone the program on the mutator
+    /// — the owned clone [`MigrationImage`] needs is taken by
+    /// [`SnapshotPack::into_image`], off-thread.
+    pub code: Arc<PackedCode>,
+    /// The frozen heap.
+    pub heap: HeapSnapshot,
+    /// `Some((base, fingerprint))` to encode an incremental delta against
+    /// that stored full checkpoint; `None` for a full image.
+    pub delta_base: Option<(String, u64)>,
+    /// Pointer to the `migrate_env` block holding the live variables.
+    pub migrate_env: PtrIdx,
+    /// The continuation to call on resume.
+    pub resume_fun: Word,
+    /// The migration label identifying the call site.
+    pub label: u32,
+    /// Speculation levels open at pack time (informational).
+    pub open_speculations: u32,
+    /// Negotiated slab-compression codecs for the heap payload.
+    pub allowed: CodecSet,
+    /// Whether the sink predates compression: encode the batched v4
+    /// layout (and version) instead of v5 frames.
+    pub legacy_sink: bool,
+    /// Nanoseconds the mutator spent in [`mojave_heap::Heap::freeze`] —
+    /// the pause this pack actually cost, accounted into
+    /// [`PipelineStats::pause_ns`].
+    pub freeze_ns: u64,
+    /// For full images: a slot the encoder fills with the heap payload's
+    /// fingerprint once known.  This is how a process learns — later,
+    /// asynchronously — the base fingerprint its next delta checkpoints
+    /// must pin; until the slot is filled the process falls back to full
+    /// images.  Filled before delivery, so a failed delivery still
+    /// resolves the name (and `has_base` against the store answers false).
+    pub fingerprint_slot: Option<Arc<OnceLock<u64>>>,
+}
+
+impl SnapshotPack {
+    /// Whether this pack will encode an incremental delta image.
+    pub fn is_delta(&self) -> bool {
+        self.delta_base.is_some()
+    }
+
+    /// Run the deferred encode: serialise the frozen heap (full or delta,
+    /// compressed or batched per the negotiated settings) and assemble the
+    /// [`MigrationImage`].  Fills [`SnapshotPack::fingerprint_slot`] for
+    /// full images.  This is the expensive half a pipeline worker runs
+    /// off-thread; the error case ([`mojave_heap::HeapError::NoCleanPoint`])
+    /// is unreachable when the pack came from
+    /// [`crate::Process::pack_snapshot`], which validates the clean point.
+    pub fn into_image(self) -> Result<MigrationImage, RuntimeError> {
+        let heap_image = match &self.delta_base {
+            None => {
+                let mut w = WireWriter::with_capacity(self.heap.live_bytes() + 256);
+                if self.legacy_sink {
+                    self.heap.encode_image(&mut w);
+                } else {
+                    self.heap.encode_image_compressed(&mut w, self.allowed);
+                }
+                HeapImage::Full(w.into_bytes())
+            }
+            Some((base, base_fingerprint)) => {
+                let mut w = WireWriter::new();
+                if self.legacy_sink {
+                    self.heap.encode_delta_image(&mut w)?;
+                } else {
+                    self.heap
+                        .encode_delta_image_compressed(&mut w, self.allowed)?;
+                }
+                HeapImage::Delta {
+                    base: base.clone(),
+                    base_fingerprint: *base_fingerprint,
+                    bytes: w.into_bytes(),
+                }
+            }
+        };
+        if let Some(slot) = &self.fingerprint_slot {
+            if !heap_image.is_delta() {
+                let _ = slot.set(heap_image.fingerprint());
+            }
+        }
+        Ok(MigrationImage {
+            format_version: self.format_version,
+            source_arch: self.source_arch,
+            code: (*self.code).clone(),
+            heap_image,
+            migrate_env: self.migrate_env,
+            resume_fun: self.resume_fun,
+            label: self.label,
+            open_speculations: self.open_speculations,
+        })
+    }
+}
+
+/// Counters of an asynchronous checkpoint pipeline, exposed through
+/// [`MigrationSink::pipeline_stats`].  All byte counters refer to the
+/// heap payload of the images the pipeline produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Nanoseconds the **mutator** was blocked across all submissions:
+    /// heap freezes plus any time spent waiting on a full queue under the
+    /// `Block` backpressure policy.  The number the zero-pause design
+    /// minimises.
+    pub pause_ns: u64,
+    /// Nanoseconds pipeline workers spent encoding images off-thread —
+    /// the cost that used to be part of the mutator's pause.
+    pub encode_ns: u64,
+    /// Checkpoints currently queued (not yet picked up by a worker).
+    pub queue_depth: usize,
+    /// Heap-payload bytes of produced images with every compressed frame
+    /// expanded to its raw length.
+    pub bytes_raw: u64,
+    /// Heap-payload bytes actually put on the wire.
+    pub bytes_stored: u64,
+    /// Checkpoints submitted to the pipeline.
+    pub submitted: u64,
+    /// Checkpoints fully encoded and delivered.
+    pub completed: u64,
+    /// Queued checkpoints replaced by a newer one under the
+    /// `CoalesceLatest` backpressure policy (never encoded or stored).
+    pub coalesced: u64,
+    /// Deliveries that failed (encode error or sink failure).
+    pub failed: u64,
+}
+
 /// Where packed images go: checkpoint files, a migration daemon on another
 /// node, etc.
 pub trait MigrationSink {
@@ -556,6 +717,38 @@ pub trait MigrationSink {
     fn accepted_codecs(&self) -> CodecSet {
         CodecSet::raw_only()
     }
+
+    /// Deliver a checkpoint whose expensive encode has been **deferred**:
+    /// the caller froze the heap ([`SnapshotPack`]) and hands the encode +
+    /// delivery to the sink.  The default implementation encodes inline
+    /// and delivers synchronously — byte-identical to the non-deferred
+    /// path, since snapshot images reproduce stop-the-world images
+    /// exactly.  An asynchronous sink (`mojave-runtime`'s `AsyncSink`)
+    /// overrides this to enqueue the pack for a worker thread and return
+    /// immediately.
+    fn deliver_deferred(
+        &mut self,
+        protocol: MigrateProtocol,
+        target: &str,
+        pack: SnapshotPack,
+    ) -> DeliveryOutcome {
+        match pack.into_image() {
+            Ok(image) => self.deliver(protocol, target, &image),
+            Err(e) => DeliveryOutcome::Failed(format!("deferred encode failed: {e}")),
+        }
+    }
+
+    /// Block until every deferred delivery previously accepted by this
+    /// sink is durably completed.  A no-op for synchronous sinks.
+    /// [`crate::Process::run`] calls this before returning, so checkpoints
+    /// a finished (or crashed) process reported as stored are actually
+    /// resolvable by a resurrection daemon.
+    fn flush(&mut self) {}
+
+    /// Statistics of the asynchronous pipeline behind this sink, if any.
+    fn pipeline_stats(&self) -> Option<PipelineStats> {
+        None
+    }
 }
 
 /// On-wire size accounting for a [`CheckpointStore`]: the bytes images
@@ -571,6 +764,12 @@ pub struct StoreStats {
     pub raw_bytes: u64,
     /// Total size actually stored.
     pub stored_bytes: u64,
+    /// Cumulative nanoseconds spent in [`CheckpointStore::put`] — the
+    /// store-side ingest cost (frame-header accounting plus the map
+    /// insert), over the store's lifetime (not reduced by `remove`).
+    /// Together with [`PipelineStats`]' pause/encode split this completes
+    /// the checkpoint time accounting end to end.
+    pub put_ns: u64,
 }
 
 impl StoreStats {
@@ -604,6 +803,8 @@ struct StoreInner {
     /// lock are only cached if no write landed in between, so a concurrent
     /// overwrite can never pin a stale entry.
     generation: u64,
+    /// Cumulative time spent in `put` (see [`StoreStats::put_ns`]).
+    put_ns: u64,
 }
 
 /// A named store of checkpoint images — the stand-in for the paper's
@@ -623,6 +824,7 @@ impl CheckpointStore {
 
     /// Atomically store (replace) a named image.
     pub fn put(&self, name: &str, bytes: Vec<u8>) {
+        let start = Instant::now();
         // Frame-header walk only — no decompression, no allocation.
         let sizes = image_wire_sizes(&bytes).unwrap_or((bytes.len() as u64, bytes.len() as u64));
         let mut inner = self.inner.lock().expect("checkpoint store lock");
@@ -630,6 +832,7 @@ impl CheckpointStore {
         inner.fingerprints.remove(name);
         inner.sizes.insert(name.to_owned(), sizes);
         inner.images.insert(name.to_owned(), bytes);
+        inner.put_ns += start.elapsed().as_nanos() as u64;
     }
 
     /// Fetch a named image.
@@ -753,6 +956,7 @@ impl CheckpointStore {
         let inner = self.inner.lock().expect("checkpoint store lock");
         let mut stats = StoreStats {
             images: inner.images.len(),
+            put_ns: inner.put_ns,
             ..StoreStats::default()
         };
         for (raw, stored) in inner.sizes.values() {
@@ -1047,7 +1251,8 @@ mod tests {
     #[test]
     fn store_stats_account_raw_vs_stored_bytes() {
         let store = CheckpointStore::new();
-        assert_eq!(store.stats(), StoreStats::default());
+        assert_eq!(store.stats().images, 0);
+        assert_eq!(store.stats().put_ns, 0);
 
         // A compressible image: many small-int blocks.
         let mut heap = Heap::new();
@@ -1086,7 +1291,13 @@ mod tests {
         assert_eq!(store.image_sizes("blob"), Some((3, 3)));
         assert!(store.remove("big"));
         assert!(store.remove("blob"));
-        assert_eq!(store.stats(), StoreStats::default());
+        let stats = store.stats();
+        assert_eq!(
+            (stats.images, stats.raw_bytes, stats.stored_bytes),
+            (0, 0, 0)
+        );
+        // put_ns is lifetime accounting: it survives removals.
+        assert!(stats.put_ns > 0);
     }
 
     #[test]

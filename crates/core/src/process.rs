@@ -7,6 +7,7 @@ use crate::externals::{DefaultExternals, ExtCall, Externals};
 use crate::machine::Machine;
 use crate::migrate::{
     DeliveryOutcome, HeapImage, InMemorySink, MigrationImage, MigrationSink, PackedCode,
+    SnapshotPack,
 };
 use crate::speculate::SpeculationManager;
 use mojave_fir::{
@@ -15,6 +16,8 @@ use mojave_fir::{
 use mojave_heap::{BlockKind, Heap, HeapConfig, Word};
 use mojave_wire::{CodecId, CodecSet, WireWriter};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Configuration of a [`Process`].
 #[derive(Debug, Clone)]
@@ -59,6 +62,22 @@ pub struct ProcessConfig {
     /// the process falls back to [`CodecId::Raw`], which every sink
     /// accepts.
     pub heap_codec: Option<CodecId>,
+    /// Take `checkpoint://` images **asynchronously**: the mutator only
+    /// pays a zero-pause heap freeze (O(pointer-table) copy-on-write
+    /// capture, [`mojave_heap::Heap::freeze`]) and hands the encode +
+    /// delivery to the sink via [`MigrationSink::deliver_deferred`].
+    /// With an `AsyncSink` (`mojave-runtime`) the expensive work runs on
+    /// a pipeline worker thread concurrently with the mutator; with a
+    /// plain sink the default trait method encodes inline, so the flag is
+    /// always safe to set.
+    ///
+    /// Trade-offs: the pre-pack GC is skipped (dead blocks ride along
+    /// until the next natural collection), delivery outcomes are
+    /// optimistic (`Stored` is reported at submission; failures surface
+    /// in [`crate::PipelineStats::failed`]), and `migrate://` /
+    /// `suspend://` images remain synchronous (their outcome decides
+    /// whether the process keeps running).
+    pub async_checkpoints: bool,
 }
 
 impl Default for ProcessConfig {
@@ -73,6 +92,7 @@ impl Default for ProcessConfig {
             delta_checkpoints: false,
             max_delta_chain: 8,
             heap_codec: None,
+            async_checkpoints: false,
         }
     }
 }
@@ -114,6 +134,37 @@ pub struct ProcessStats {
     pub migration_attempts: u64,
     /// Migration attempts that failed and fell back to local execution.
     pub migration_failures: u64,
+    /// Nanoseconds the mutator was blocked by checkpointing: the full
+    /// pack + deliver time on the synchronous path, or just the heap
+    /// freeze + submission on the asynchronous path.
+    pub checkpoint_pause_ns: u64,
+    /// Nanoseconds spent encoding checkpoint images — on the mutator for
+    /// synchronous checkpoints, on pipeline workers (collected at
+    /// [`Process::run`] exit) for asynchronous ones.
+    pub checkpoint_encode_ns: u64,
+}
+
+/// The heap-payload fingerprint of the last full checkpoint — the value a
+/// delta image must pin its base with.  Synchronous checkpoints know it
+/// immediately; asynchronous ones learn it once the pipeline worker has
+/// encoded the image (the [`OnceLock`] is filled by
+/// [`SnapshotPack::into_image`]).  Until then the process simply emits
+/// full images — never a delta against an unpinned base.
+#[derive(Debug, Clone)]
+enum BaseFingerprint {
+    /// Known at checkpoint time (synchronous pack).
+    Known(u64),
+    /// Will be filled by the deferred encoder.
+    Pending(Arc<OnceLock<u64>>),
+}
+
+impl BaseFingerprint {
+    fn get(&self) -> Option<u64> {
+        match self {
+            BaseFingerprint::Known(fp) => Some(*fp),
+            BaseFingerprint::Pending(slot) => slot.get().copied(),
+        }
+    }
 }
 
 /// Where control goes after a function body finishes executing.
@@ -161,9 +212,17 @@ pub struct Process {
     extern_env: ExternEnv,
     /// Name and heap-payload fingerprint of the last *full* checkpoint this
     /// process stored — the base candidate for delta checkpoints.
-    checkpoint_base: Option<(String, u64)>,
+    checkpoint_base: Option<(String, BaseFingerprint)>,
     /// Consecutive delta checkpoints emitted against `checkpoint_base`.
     deltas_since_full: u32,
+    /// Pipeline encode time already folded into
+    /// [`ProcessStats::checkpoint_encode_ns`], so repeated flushes add
+    /// only the delta.
+    encode_ns_reported: u64,
+    /// Cached code section for snapshot packs.  The code is immutable for
+    /// the process lifetime, so the (potentially large) program clone is
+    /// paid once; every subsequent zero-pause pack shares it.
+    packed_code_cache: Option<Arc<PackedCode>>,
 }
 
 impl std::fmt::Debug for Process {
@@ -216,6 +275,8 @@ impl Process {
             extern_env,
             checkpoint_base: None,
             deltas_since_full: 0,
+            encode_ns_reported: 0,
+            packed_code_cache: None,
         })
     }
 
@@ -281,6 +342,8 @@ impl Process {
             extern_env,
             checkpoint_base: None,
             deltas_since_full: 0,
+            encode_ns_reported: 0,
+            packed_code_cache: None,
         })
     }
 
@@ -349,7 +412,25 @@ impl Process {
     // ------------------------------------------------------------------
 
     /// Run the process until it halts, migrates away or suspends.
+    ///
+    /// Before returning — on success *and* on error — any asynchronous
+    /// checkpoint pipeline behind the sink is flushed
+    /// ([`MigrationSink::flush`]), so every checkpoint this run reported
+    /// as stored is durably resolvable (a resurrection daemon reads them
+    /// right after the worker thread exits), and the workers' encode time
+    /// is folded into [`ProcessStats::checkpoint_encode_ns`].
     pub fn run(&mut self) -> Result<RunOutcome, RuntimeError> {
+        let result = self.run_loop();
+        self.sink.flush();
+        if let Some(pipeline) = self.sink.pipeline_stats() {
+            let delta = pipeline.encode_ns.saturating_sub(self.encode_ns_reported);
+            self.stats.checkpoint_encode_ns += delta;
+            self.encode_ns_reported = pipeline.encode_ns;
+        }
+        result
+    }
+
+    fn run_loop(&mut self) -> Result<RunOutcome, RuntimeError> {
         let (mut fun, mut args) = self
             .pending
             .take()
@@ -423,7 +504,10 @@ impl Process {
                         .ok_or_else(|| RuntimeError::BadMigrationTarget(target.clone()))?;
                     // Base-image negotiation: a checkpoint becomes a delta
                     // only when deltas are enabled, the chain is not
-                    // exhausted, and the sink still has the base image.
+                    // exhausted, the base's fingerprint is already known
+                    // (an asynchronous full checkpoint pins it once its
+                    // worker has encoded the image), and the sink still
+                    // has the base image.
                     let delta_base = if protocol == MigrateProtocol::Checkpoint
                         && self.config.delta_checkpoints
                         && self.deltas_since_full < self.config.max_delta_chain
@@ -431,19 +515,77 @@ impl Process {
                         // Never delta against the name being written: the
                         // store would replace the base with the delta that
                         // references it.
-                        self.checkpoint_base
-                            .clone()
-                            .filter(|(base, fp)| base != dest && self.sink.has_base(base, *fp))
+                        self.checkpoint_base.as_ref().and_then(|(base, fp)| {
+                            let fp = fp.get()?;
+                            (base != dest && self.sink.has_base(base, fp))
+                                .then(|| (base.clone(), fp))
+                        })
                     } else {
                         None
                     };
-                    let image = match &delta_base {
-                        Some((base, fingerprint)) => {
-                            self.pack_delta(label, f, &a, base, *fingerprint)?
+                    let asynchronous =
+                        self.config.async_checkpoints && protocol == MigrateProtocol::Checkpoint;
+                    let pause_start = Instant::now();
+                    let outcome = if asynchronous {
+                        let mut pack = self.pack_snapshot(
+                            label,
+                            f,
+                            &a,
+                            delta_base.as_ref().map(|(b, fp)| (b.as_str(), *fp)),
+                        )?;
+                        if delta_base.is_none() && self.config.delta_checkpoints {
+                            // The frozen state is the new delta base, even
+                            // though its fingerprint is not known yet: the
+                            // clean point is declared *at the freeze*, and
+                            // the pending slot is filled by the deferred
+                            // encoder.  If the delivery later fails, the
+                            // base name never appears on the sink and
+                            // `has_base` keeps answering false — the
+                            // process just emits full images.
+                            let slot = Arc::new(OnceLock::new());
+                            pack.fingerprint_slot = Some(slot.clone());
+                            self.checkpoint_base =
+                                Some((dest.to_owned(), BaseFingerprint::Pending(slot)));
+                            self.deltas_since_full = 0;
+                            self.heap.mark_clean();
                         }
-                        None => self.pack(label, f, &a)?,
+                        self.sink.deliver_deferred(protocol, dest, pack)
+                    } else {
+                        let image = match &delta_base {
+                            Some((base, fingerprint)) => {
+                                self.pack_delta(label, f, &a, base, *fingerprint)?
+                            }
+                            None => self.pack(label, f, &a)?,
+                        };
+                        if protocol == MigrateProtocol::Checkpoint {
+                            // On the synchronous path the mutator pays the
+                            // encode itself.
+                            self.stats.checkpoint_encode_ns +=
+                                pause_start.elapsed().as_nanos() as u64;
+                        }
+                        let outcome = self.sink.deliver(protocol, dest, &image);
+                        if outcome == DeliveryOutcome::Stored
+                            && protocol == MigrateProtocol::Checkpoint
+                            && delta_base.is_none()
+                            && self.config.delta_checkpoints
+                        {
+                            // The stored full image is the new base: dirty
+                            // tracking restarts (and arms) from this state,
+                            // and the fingerprint pins the base content
+                            // future deltas will be resolved against.  With
+                            // deltas disabled, none of this is paid.
+                            self.checkpoint_base = Some((
+                                dest.to_owned(),
+                                BaseFingerprint::Known(image.heap_image.fingerprint()),
+                            ));
+                            self.deltas_since_full = 0;
+                            self.heap.mark_clean();
+                        }
+                        outcome
                     };
-                    let outcome = self.sink.deliver(protocol, dest, &image);
+                    if protocol == MigrateProtocol::Checkpoint {
+                        self.stats.checkpoint_pause_ns += pause_start.elapsed().as_nanos() as u64;
+                    }
                     match (protocol, outcome) {
                         (MigrateProtocol::Migrate, DeliveryOutcome::Migrated) => {
                             return Ok(RunOutcome::MigratedAway {
@@ -460,17 +602,6 @@ impl Process {
                             if delta_base.is_some() {
                                 self.stats.delta_checkpoints += 1;
                                 self.deltas_since_full += 1;
-                            } else if self.config.delta_checkpoints {
-                                // The stored full image is the new base:
-                                // dirty tracking restarts (and arms) from
-                                // this state, and the fingerprint pins the
-                                // base content future deltas will be
-                                // resolved against.  With deltas disabled,
-                                // none of this bookkeeping is paid.
-                                self.checkpoint_base =
-                                    Some((dest.to_owned(), image.heap_image.fingerprint()));
-                                self.deltas_since_full = 0;
-                                self.heap.mark_clean();
                             }
                             fun = f;
                             args = a;
@@ -615,30 +746,7 @@ impl Process {
             }
         };
 
-        let code = if self.config.binary_migration {
-            let bytecode = match &self.bytecode {
-                Some(bc) => bc.clone(),
-                None => {
-                    let program = self
-                        .program
-                        .as_ref()
-                        .ok_or_else(|| RuntimeError::MigrationRejected("no code to pack".into()))?;
-                    compile_program(program)
-                        .map_err(|e| RuntimeError::MigrationRejected(e.to_string()))?
-                }
-            };
-            PackedCode::Binary {
-                arch: self.config.machine.arch().to_owned(),
-                bytecode,
-            }
-        } else {
-            let program = self.program.as_ref().ok_or_else(|| {
-                RuntimeError::MigrationRejected(
-                    "FIR migration requested but this process only carries bytecode".into(),
-                )
-            })?;
-            PackedCode::Fir(program.clone())
-        };
+        let code = self.packed_code()?;
 
         Ok(MigrationImage {
             format_version: if legacy_sink {
@@ -653,6 +761,103 @@ impl Process {
             resume_fun: fun,
             label,
             open_speculations: self.heap.spec_depth() as u32,
+        })
+    }
+
+    /// The code section a pack ships: the FIR program, or compiled
+    /// bytecode under [`ProcessConfig::binary_migration`].
+    fn packed_code(&self) -> Result<PackedCode, RuntimeError> {
+        if self.config.binary_migration {
+            let bytecode = match &self.bytecode {
+                Some(bc) => bc.clone(),
+                None => {
+                    let program = self
+                        .program
+                        .as_ref()
+                        .ok_or_else(|| RuntimeError::MigrationRejected("no code to pack".into()))?;
+                    compile_program(program)
+                        .map_err(|e| RuntimeError::MigrationRejected(e.to_string()))?
+                }
+            };
+            Ok(PackedCode::Binary {
+                arch: self.config.machine.arch().to_owned(),
+                bytecode,
+            })
+        } else {
+            let program = self.program.as_ref().ok_or_else(|| {
+                RuntimeError::MigrationRejected(
+                    "FIR migration requested but this process only carries bytecode".into(),
+                )
+            })?;
+            Ok(PackedCode::Fir(program.clone()))
+        }
+    }
+
+    /// The asynchronous counterpart of [`Process::pack`]: capture the
+    /// process state as a [`SnapshotPack`] whose heap half is a
+    /// **zero-pause** [`mojave_heap::HeapSnapshot`] — O(pointer-table)
+    /// copy-on-write freeze instead of a full encode.  The expensive
+    /// encode is deferred to [`SnapshotPack::into_image`], which a
+    /// pipeline worker runs concurrently with the mutator.
+    ///
+    /// Differences from the synchronous pack, by design:
+    ///
+    /// * **No pre-pack GC** — the paper's pack garbage-collects first,
+    ///   which is O(heap) mutator time; here dead blocks ride along in
+    ///   the image and are reclaimed by the next natural collection.
+    /// * The codec negotiation (sink's accepted codecs ∩ configured
+    ///   preference, legacy-sink downgrade to the batched v4 layout) is
+    ///   resolved *now* and recorded in the pack, so the worker needs no
+    ///   access to the process.
+    pub fn pack_snapshot(
+        &mut self,
+        label: u32,
+        fun: Word,
+        args: &[Word],
+        delta_base: Option<(&str, u64)>,
+    ) -> Result<SnapshotPack, RuntimeError> {
+        if delta_base.is_some() && !self.heap.dirty_tracking_armed() {
+            return Err(RuntimeError::MigrationRejected(
+                "delta pack requested but no full checkpoint established a clean point".into(),
+            ));
+        }
+        let migrate_env = self.heap.alloc_migrate_env(args.to_vec())?;
+        let accepted = self.sink.accepted_codecs();
+        let legacy_sink = accepted == CodecSet::raw_only();
+        let allowed = match self.config.heap_codec {
+            Some(codec) if accepted.contains(codec) => CodecSet::only(codec),
+            Some(_) => CodecSet::only(CodecId::Raw),
+            None => accepted,
+        };
+        let code = match &self.packed_code_cache {
+            Some(code) => Arc::clone(code),
+            None => {
+                let code = Arc::new(self.packed_code()?);
+                self.packed_code_cache = Some(Arc::clone(&code));
+                code
+            }
+        };
+        let freeze_start = Instant::now();
+        let heap = self.heap.freeze();
+        let freeze_ns = freeze_start.elapsed().as_nanos() as u64;
+        Ok(SnapshotPack {
+            format_version: if legacy_sink {
+                mojave_wire::BATCHED_VERSION
+            } else {
+                mojave_wire::FORMAT_VERSION
+            },
+            source_arch: self.config.machine.arch().to_owned(),
+            code,
+            heap,
+            delta_base: delta_base.map(|(base, fp)| (base.to_owned(), fp)),
+            migrate_env,
+            resume_fun: fun,
+            label,
+            open_speculations: self.heap.spec_depth() as u32,
+            allowed,
+            legacy_sink,
+            freeze_ns,
+            fingerprint_slot: None,
         })
     }
 

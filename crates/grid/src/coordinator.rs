@@ -5,7 +5,8 @@ use crate::reference::reference_checksums;
 use crate::source::worker_source;
 use crate::GridConfig;
 use mojave_cluster::{Cluster, ClusterConfig, ClusterExternals, ClusterSink};
-use mojave_core::{Process, ProcessConfig, ProcessStats, RunOutcome, RuntimeError};
+use mojave_core::{MigrationSink, Process, ProcessConfig, ProcessStats, RunOutcome, RuntimeError};
+use mojave_runtime::{AsyncSink, PipelineConfig};
 use mojave_wire::CodecId;
 use std::fmt;
 use std::fmt::Write as _;
@@ -56,6 +57,15 @@ pub struct GridReport {
     /// Checkpoint-store bytes actually stored — with slab compression
     /// on, strictly below [`GridReport::checkpoint_raw_bytes`].
     pub checkpoint_stored_bytes: u64,
+    /// Nanoseconds workers' mutators were blocked by checkpointing,
+    /// summed across workers (resurrected runs included).  With the
+    /// asynchronous pipeline this is the freeze + submission cost only;
+    /// synchronously it includes the whole encode.
+    pub checkpoint_pause_ns: u64,
+    /// Nanoseconds spent encoding checkpoint images, summed across
+    /// workers — on mutator threads for synchronous checkpoints, on
+    /// pipeline workers for asynchronous ones.
+    pub checkpoint_encode_ns: u64,
 }
 
 impl GridReport {
@@ -105,6 +115,51 @@ impl GridReport {
             self.delta_checkpoints,
             self.speculations,
             self.network_messages,
+        );
+        out
+    }
+
+    /// A human-readable multi-line summary of the run: correctness,
+    /// recovery, the speculation/checkpoint counters, network traffic,
+    /// and the checkpoint byte + time accounting (stored-vs-raw bytes,
+    /// mutator pause vs encode time).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "grid run: {} workers, correct={}, recovered_from_failure={}",
+            self.worker_checksums.len(),
+            self.is_correct(),
+            self.recovered_from_failure,
+        );
+        let _ = writeln!(
+            out,
+            "  speculation: {} entered, {} rollbacks",
+            self.speculations, self.rollbacks,
+        );
+        let _ = writeln!(
+            out,
+            "  checkpoints: {} ({} deltas), stored {} B of {} B raw ({:.1}% on the wire)",
+            self.checkpoints,
+            self.delta_checkpoints,
+            self.checkpoint_stored_bytes,
+            self.checkpoint_raw_bytes,
+            if self.checkpoint_raw_bytes == 0 {
+                100.0
+            } else {
+                self.checkpoint_stored_bytes as f64 * 100.0 / self.checkpoint_raw_bytes as f64
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  checkpoint time: mutator pause {:.3} ms, encode {:.3} ms",
+            self.checkpoint_pause_ns as f64 / 1e6,
+            self.checkpoint_encode_ns as f64 / 1e6,
+        );
+        let _ = writeln!(
+            out,
+            "  network: {} messages, {} B; wall time {:?}",
+            self.network_messages, self.network_bytes, self.wall_time,
         );
         out
     }
@@ -162,7 +217,7 @@ struct WorkerResult {
 /// The worker-side process configuration: delta checkpoints on (the
 /// stencil's home turf) and the negotiated slab-compression codec
 /// (`None` = auto-choose per slab, the production default).
-fn worker_config(cluster: &Cluster, worker: usize, heap_codec: Option<CodecId>) -> ProcessConfig {
+fn worker_config(cluster: &Cluster, worker: usize, options: GridOptions) -> ProcessConfig {
     ProcessConfig {
         machine: mojave_core::Machine::new(cluster.arch(worker)),
         step_budget: Some(500_000_000),
@@ -170,8 +225,32 @@ fn worker_config(cluster: &Cluster, worker: usize, heap_codec: Option<CodecId>) 
         // pipeline's home turf: between checkpoints only the field rows
         // and loop state mutate, so deltas stay small.
         delta_checkpoints: true,
-        heap_codec,
+        heap_codec: options.heap_codec,
+        async_checkpoints: options.async_checkpoints,
         ..ProcessConfig::default()
+    }
+}
+
+/// The worker-side migration sink: the cluster sink, wrapped in the
+/// asynchronous checkpoint pipeline when the run opted in.  In the
+/// cluster's deterministic simulation mode the pipeline runs with the
+/// **drain barrier** ([`PipelineConfig::drain_after_submit`]): every
+/// checkpoint's side effects (store write, network accounting, scheduled
+/// failure injection) land at exactly the point in the worker's execution
+/// the synchronous path would produce them, which is what makes replay
+/// digests identical with the pipeline on or off.
+fn worker_sink(cluster: &Cluster, worker: usize, options: GridOptions) -> Box<dyn MigrationSink> {
+    let inner = ClusterSink::new(cluster.clone(), worker);
+    if options.async_checkpoints {
+        Box::new(AsyncSink::new(
+            Box::new(inner),
+            PipelineConfig {
+                drain_after_submit: cluster.is_deterministic(),
+                ..PipelineConfig::default()
+            },
+        ))
+    } else {
+        Box::new(inner)
     }
 }
 
@@ -179,15 +258,15 @@ fn spawn_worker(
     cluster: &Cluster,
     program: mojave_fir::Program,
     worker: usize,
-    heap_codec: Option<CodecId>,
+    options: GridOptions,
     tx: mpsc::Sender<WorkerResult>,
 ) {
     let cluster = cluster.clone();
     thread::spawn(move || {
-        let config = worker_config(&cluster, worker, heap_codec);
+        let config = worker_config(&cluster, worker, options);
         let result = Process::new(program, config).map(|p| {
             p.with_externals(Box::new(ClusterExternals::new(cluster.clone(), worker)))
-                .with_sink(Box::new(ClusterSink::new(cluster.clone(), worker)))
+                .with_sink(worker_sink(&cluster, worker, options))
         });
         let (outcome, stats) = match result {
             Ok(mut process) => {
@@ -226,7 +305,7 @@ fn latest_checkpoint(cluster: &Cluster, worker: usize) -> Option<(String, u64)> 
 fn resurrect(
     cluster: &Cluster,
     worker: usize,
-    heap_codec: Option<CodecId>,
+    options: GridOptions,
     tx: mpsc::Sender<WorkerResult>,
 ) -> Result<(), GridError> {
     let (name, _step) =
@@ -238,10 +317,10 @@ fn resurrect(
     cluster.revive_node(worker);
     let cluster = cluster.clone();
     thread::spawn(move || {
-        let config = worker_config(&cluster, worker, heap_codec);
+        let config = worker_config(&cluster, worker, options);
         let result = Process::from_image(image, config).map(|p| {
             p.with_externals(Box::new(ClusterExternals::new(cluster.clone(), worker)))
-                .with_sink(Box::new(ClusterSink::new(cluster.clone(), worker)))
+                .with_sink(worker_sink(&cluster, worker, options))
         });
         let (outcome, stats) = match result {
             Ok(mut process) => {
@@ -259,15 +338,49 @@ fn resurrect(
     Ok(())
 }
 
+/// Per-run knobs orthogonal to the grid shape: deterministic seeding,
+/// checkpoint codec, and the asynchronous checkpoint pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridOptions {
+    /// `Some(seed)` runs the cluster in deterministic simulation mode
+    /// ([`ClusterConfig::deterministic`]); `None` uses wall-clock mode.
+    pub seed: Option<u64>,
+    /// Slab-compression codec for worker checkpoints: `None` auto-chooses
+    /// per slab, `Some(CodecId::Raw)` disables compression.
+    pub heap_codec: Option<CodecId>,
+    /// Route worker checkpoints through the asynchronous pipeline
+    /// (`mojave-runtime`).  In deterministic mode the pipeline runs with
+    /// drain barriers, so the replay digest is identical to the
+    /// synchronous run's; in wall-clock mode checkpoints overlap the
+    /// computation and the mutator pause shrinks to the heap freeze.
+    pub async_checkpoints: bool,
+}
+
 /// Run the grid computation on a simulated cluster, optionally injecting a
 /// node failure, and verify against the sequential reference.
 pub fn run_grid(
     config: &GridConfig,
     failure: Option<FailurePlan>,
 ) -> Result<GridReport, GridError> {
-    let mut cluster_config = ClusterConfig::new(config.workers);
-    cluster_config.recv_timeout = Duration::from_millis(1_500);
-    run_grid_on(Cluster::new(cluster_config), config, failure, None)
+    run_grid_with(config, failure, GridOptions::default())
+}
+
+/// [`run_grid`] with explicit [`GridOptions`] — the fully general entry
+/// point the other `run_grid*` functions are shorthands for.
+pub fn run_grid_with(
+    config: &GridConfig,
+    failure: Option<FailurePlan>,
+    options: GridOptions,
+) -> Result<GridReport, GridError> {
+    let cluster = match options.seed {
+        Some(seed) => Cluster::new(ClusterConfig::deterministic(config.workers, seed)),
+        None => {
+            let mut cluster_config = ClusterConfig::new(config.workers);
+            cluster_config.recv_timeout = Duration::from_millis(1_500);
+            Cluster::new(cluster_config)
+        }
+    };
+    run_grid_on(cluster, config, failure, options)
 }
 
 /// Run the grid computation in the cluster's **deterministic simulation
@@ -282,7 +395,14 @@ pub fn run_grid_deterministic(
     failure: Option<FailurePlan>,
     seed: u64,
 ) -> Result<GridReport, GridError> {
-    run_grid_deterministic_with_codec(config, failure, seed, None)
+    run_grid_with(
+        config,
+        failure,
+        GridOptions {
+            seed: Some(seed),
+            ..GridOptions::default()
+        },
+    )
 }
 
 /// [`run_grid_deterministic`] with an explicit slab-compression codec for
@@ -297,11 +417,14 @@ pub fn run_grid_deterministic_with_codec(
     seed: u64,
     heap_codec: Option<CodecId>,
 ) -> Result<GridReport, GridError> {
-    run_grid_on(
-        Cluster::new(ClusterConfig::deterministic(config.workers, seed)),
+    run_grid_with(
         config,
         failure,
-        heap_codec,
+        GridOptions {
+            seed: Some(seed),
+            heap_codec,
+            ..GridOptions::default()
+        },
     )
 }
 
@@ -309,7 +432,7 @@ fn run_grid_on(
     cluster: Cluster,
     config: &GridConfig,
     failure: Option<FailurePlan>,
-    heap_codec: Option<CodecId>,
+    options: GridOptions,
 ) -> Result<GridReport, GridError> {
     let source = worker_source(config);
     let program = mojave_lang::compile_source(&source).map_err(GridError::Compile)?;
@@ -326,7 +449,7 @@ fn run_grid_on(
     let start = Instant::now();
     let (tx, rx) = mpsc::channel();
     for worker in 0..config.workers {
-        spawn_worker(&cluster, program.clone(), worker, heap_codec, tx.clone());
+        spawn_worker(&cluster, program.clone(), worker, options, tx.clone());
     }
 
     // Wall-clock failure injection: block on the cluster's checkpoint
@@ -348,6 +471,8 @@ fn run_grid_on(
     let mut checkpoints = 0u64;
     let mut delta_checkpoints = 0u64;
     let mut speculations = 0u64;
+    let mut checkpoint_pause_ns = 0u64;
+    let mut checkpoint_encode_ns = 0u64;
     let mut finished = 0usize;
     let mut recovered = false;
 
@@ -359,6 +484,8 @@ fn run_grid_on(
         checkpoints += result.stats.checkpoints;
         delta_checkpoints += result.stats.delta_checkpoints;
         speculations += result.stats.speculations;
+        checkpoint_pause_ns += result.stats.checkpoint_pause_ns;
+        checkpoint_encode_ns += result.stats.checkpoint_encode_ns;
         match result.outcome {
             Ok(RunOutcome::Exit(code)) => {
                 checksums[result.worker] = code as f64 / 100.0;
@@ -376,7 +503,7 @@ fn run_grid_on(
                 if injected {
                     // The paper's resurrection daemon: restart the failed
                     // computation from its last checkpoint.
-                    resurrect(&cluster, result.worker, heap_codec, tx.clone())?;
+                    resurrect(&cluster, result.worker, options, tx.clone())?;
                     recovered = true;
                 } else {
                     return Err(GridError::Worker {
@@ -402,6 +529,8 @@ fn run_grid_on(
         network_messages: cluster.messages_sent(),
         checkpoint_raw_bytes: store_stats.raw_bytes,
         checkpoint_stored_bytes: store_stats.stored_bytes,
+        checkpoint_pause_ns,
+        checkpoint_encode_ns,
     })
 }
 
@@ -495,6 +624,101 @@ mod tests {
         // And the codec demonstrably did something: same logical run,
         // fewer stored bytes.
         assert!(compressed.checkpoint_stored_bytes < raw.checkpoint_stored_bytes);
+    }
+
+    #[test]
+    fn async_checkpoints_replay_identically_to_sync() {
+        // The asynchronous pipeline changes *when* checkpoint work
+        // happens, never what the run computes: with the deterministic
+        // drain barrier, the replay digest matches the synchronous run's
+        // exactly — failure injection and recovery included.
+        let config = GridConfig {
+            workers: 4,
+            rows_per_worker: 3,
+            cols: 6,
+            timesteps: 8,
+            checkpoint_interval: 2,
+        };
+        let failure = Some(FailurePlan {
+            victim: 2,
+            after_checkpoints: 1,
+        });
+        let sync = run_grid_with(
+            &config,
+            failure,
+            GridOptions {
+                seed: Some(0xBEEF),
+                ..GridOptions::default()
+            },
+        )
+        .expect("sync run");
+        let asynchronous = run_grid_with(
+            &config,
+            failure,
+            GridOptions {
+                seed: Some(0xBEEF),
+                async_checkpoints: true,
+                ..GridOptions::default()
+            },
+        )
+        .expect("async run");
+        assert!(sync.is_correct() && asynchronous.is_correct());
+        assert!(asynchronous.recovered_from_failure);
+        assert_eq!(sync.replay_digest(), asynchronous.replay_digest());
+        // Image *bytes* are allowed to differ: the zero-pause pack skips
+        // the pre-pack GC, so async images may carry garbage blocks the
+        // synchronous pack would have collected — never fewer bytes, and
+        // still compressed.
+        assert!(asynchronous.checkpoint_stored_bytes >= sync.checkpoint_stored_bytes);
+        assert!(asynchronous.checkpoint_stored_bytes < asynchronous.checkpoint_raw_bytes);
+        // And the async run replays against itself byte-identically.
+        let replay = run_grid_with(
+            &config,
+            failure,
+            GridOptions {
+                seed: Some(0xBEEF),
+                async_checkpoints: true,
+                ..GridOptions::default()
+            },
+        )
+        .expect("async replay");
+        assert_eq!(asynchronous.replay_digest(), replay.replay_digest());
+        assert_eq!(
+            asynchronous.checkpoint_stored_bytes,
+            replay.checkpoint_stored_bytes
+        );
+    }
+
+    #[test]
+    fn wall_clock_async_run_is_correct_and_accounts_time() {
+        let config = GridConfig {
+            workers: 3,
+            rows_per_worker: 4,
+            cols: 8,
+            timesteps: 12,
+            checkpoint_interval: 4,
+        };
+        let report = run_grid_with(
+            &config,
+            None,
+            GridOptions {
+                async_checkpoints: true,
+                ..GridOptions::default()
+            },
+        )
+        .expect("grid run succeeds");
+        assert!(report.is_correct(), "max error {}", report.max_error());
+        assert_eq!(report.checkpoints, (3 * 12 / 4) as u64);
+        // Pause/encode accounting flows into the report and its summary.
+        assert!(report.checkpoint_pause_ns > 0);
+        assert!(report.checkpoint_encode_ns > 0);
+        let summary = report.summary();
+        assert!(summary.contains("stored"), "summary: {summary}");
+        assert!(summary.contains("mutator pause"), "summary: {summary}");
+        assert!(
+            summary.contains(&report.checkpoint_stored_bytes.to_string()),
+            "summary reports stored-vs-raw bytes: {summary}"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::pointer_table::PtrIdx;
 use crate::word::Word;
 use mojave_wire::{WireCodec, WireError, WireReader, WireWriter};
+use std::sync::Arc;
 
 /// What a block holds and how the runtime is allowed to access it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,15 +50,70 @@ pub enum Generation {
 }
 
 /// Block payload: either words or raw bytes.
+///
+/// Payloads are **reference-counted** (`Arc`): cloning a block — for a
+/// speculation-level copy-on-write clone or a [`crate::HeapSnapshot`]
+/// freeze — is a pointer bump, and the actual byte copy is deferred to the
+/// first mutation of a *shared* payload ([`BlockData::words_mut`] /
+/// [`BlockData::bytes_mut`], which go through [`Arc::make_mut`]).  This is
+/// what makes a heap snapshot O(pointer-table): the frozen originals stay
+/// readable from another thread while the mutator lazily un-shares exactly
+/// the blocks it touches.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BlockData {
     /// Word-addressed payload.
-    Words(Vec<Word>),
+    Words(Arc<Vec<Word>>),
     /// Byte-addressed payload.
-    Bytes(Vec<u8>),
+    Bytes(Arc<Vec<u8>>),
 }
 
 impl BlockData {
+    /// A word payload (takes ownership of the vector, no copy).
+    pub fn words(words: Vec<Word>) -> Self {
+        BlockData::Words(Arc::new(words))
+    }
+
+    /// A byte payload (takes ownership of the vector, no copy).
+    pub fn bytes(bytes: Vec<u8>) -> Self {
+        BlockData::Bytes(Arc::new(bytes))
+    }
+
+    /// Whether the payload is currently shared with a clone or a live
+    /// snapshot — i.e. whether the next mutation will pay the deferred
+    /// copy-on-write byte copy.
+    pub fn is_shared(&self) -> bool {
+        match self {
+            BlockData::Words(w) => Arc::strong_count(w) > 1,
+            BlockData::Bytes(b) => Arc::strong_count(b) > 1,
+        }
+    }
+
+    /// Mutable access to a word payload, un-sharing it first if a clone or
+    /// snapshot still references it.
+    ///
+    /// # Panics
+    /// Panics if the payload is byte-addressed; callers validate the block
+    /// kind before mutating.
+    pub fn words_mut(&mut self) -> &mut Vec<Word> {
+        match self {
+            BlockData::Words(w) => Arc::make_mut(w),
+            BlockData::Bytes(_) => unreachable!("validated as a word block"),
+        }
+    }
+
+    /// Mutable access to a byte payload, un-sharing it first if a clone or
+    /// snapshot still references it.
+    ///
+    /// # Panics
+    /// Panics if the payload is word-addressed; callers validate the block
+    /// kind before mutating.
+    pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        match self {
+            BlockData::Bytes(b) => Arc::make_mut(b),
+            BlockData::Words(_) => unreachable!("validated as a raw block"),
+        }
+    }
+
     /// Number of addressable elements (words or bytes).
     pub fn len(&self) -> usize {
         match self {
@@ -119,7 +175,7 @@ impl Block {
                 generation: Generation::Young,
                 marked: false,
             },
-            data: BlockData::Words(words),
+            data: BlockData::words(words),
         }
     }
 
@@ -133,7 +189,7 @@ impl Block {
                 generation: Generation::Young,
                 marked: false,
             },
-            data: BlockData::Bytes(bytes),
+            data: BlockData::bytes(bytes),
         }
     }
 
@@ -215,7 +271,7 @@ impl Block {
                 // pay a capacity check each.
                 let mut tags = Vec::with_capacity(words.len());
                 let mut payloads = Vec::with_capacity(words.len());
-                for word in words {
+                for word in words.iter() {
                     let (tag, payload) = word.to_raw();
                     tags.push(tag);
                     payloads.push(payload);
@@ -248,9 +304,9 @@ impl Block {
             for (&tag, &payload) in tags.iter().zip(&payloads) {
                 words.push(Word::from_raw(tag, payload)?);
             }
-            BlockData::Words(words)
+            BlockData::words(words)
         } else {
-            BlockData::Bytes(r.read_bytes()?.to_vec())
+            BlockData::bytes(r.read_bytes()?.to_vec())
         };
         Ok(Block {
             header: BlockHeader {
@@ -285,8 +341,8 @@ impl WireCodec for Block {
         let index = PtrIdx(r.read_uvarint()? as u32);
         let kind = BlockKind::decode(r)?;
         let data = match r.read_u8()? {
-            0 => BlockData::Words(Vec::<Word>::decode(r)?),
-            1 => BlockData::Bytes(r.read_bytes()?.to_vec()),
+            0 => BlockData::words(Vec::<Word>::decode(r)?),
+            1 => BlockData::bytes(r.read_bytes()?.to_vec()),
             tag => {
                 return Err(WireError::BadTag {
                     context: "BlockData",

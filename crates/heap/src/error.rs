@@ -54,6 +54,10 @@ pub enum HeapError {
     },
     /// Writing to an immutable (string) block.
     ImmutableBlock(PtrIdx),
+    /// A delta encode was requested from a heap or snapshot that has no
+    /// clean point (no `mark_clean` was taken), so there is no base for
+    /// the delta to be relative to.
+    NoCleanPoint,
 }
 
 impl fmt::Display for HeapError {
@@ -84,6 +88,10 @@ impl fmt::Display for HeapError {
                 )
             }
             HeapError::ImmutableBlock(p) => write!(f, "attempt to mutate immutable block {p}"),
+            HeapError::NoCleanPoint => write!(
+                f,
+                "delta encode requested but no clean point was established (mark_clean)"
+            ),
         }
     }
 }

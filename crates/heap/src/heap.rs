@@ -249,13 +249,13 @@ impl Heap {
     /// Allocate an array of `len` words, each initialised to `init`.
     pub fn alloc_array(&mut self, len: i64, init: Word) -> Result<PtrIdx, HeapError> {
         let len = self.check_size(len)?;
-        Ok(self.install_block(BlockKind::Array, BlockData::Words(vec![init; len])))
+        Ok(self.install_block(BlockKind::Array, BlockData::words(vec![init; len])))
     }
 
     /// Allocate a tuple holding the given words.
     pub fn alloc_tuple(&mut self, words: Vec<Word>) -> Result<PtrIdx, HeapError> {
         self.check_size(words.len() as i64)?;
-        Ok(self.install_block(BlockKind::Tuple, BlockData::Words(words)))
+        Ok(self.install_block(BlockKind::Tuple, BlockData::words(words)))
     }
 
     /// Allocate a closure block: element 0 is the function index, the rest
@@ -264,24 +264,24 @@ impl Heap {
         let mut words = Vec::with_capacity(captured.len() + 1);
         words.push(Word::Fun(fun));
         words.extend(captured);
-        Ok(self.install_block(BlockKind::Closure, BlockData::Words(words)))
+        Ok(self.install_block(BlockKind::Closure, BlockData::words(words)))
     }
 
     /// Allocate the migrate environment block (paper §4.2.2).
     pub fn alloc_migrate_env(&mut self, words: Vec<Word>) -> Result<PtrIdx, HeapError> {
-        Ok(self.install_block(BlockKind::MigrateEnv, BlockData::Words(words)))
+        Ok(self.install_block(BlockKind::MigrateEnv, BlockData::words(words)))
     }
 
     /// Allocate a zero-filled raw block of `size` bytes.
     pub fn alloc_raw(&mut self, size: i64) -> Result<PtrIdx, HeapError> {
         let size = self.check_size(size)?;
-        Ok(self.install_block(BlockKind::Raw, BlockData::Bytes(vec![0; size])))
+        Ok(self.install_block(BlockKind::Raw, BlockData::bytes(vec![0; size])))
     }
 
     /// Allocate an immutable string block.
     pub fn alloc_str(&mut self, s: &str) -> Result<PtrIdx, HeapError> {
         self.check_size(s.len() as i64)?;
-        Ok(self.install_block(BlockKind::Str, BlockData::Bytes(s.as_bytes().to_vec())))
+        Ok(self.install_block(BlockKind::Str, BlockData::bytes(s.as_bytes().to_vec())))
     }
 
     // ------------------------------------------------------------------
@@ -353,12 +353,10 @@ impl Heap {
         self.cow_before_write(ptr)?;
         self.note_mutated(ptr);
         let slot = self.slot_of(ptr)?;
+        self.note_unshare(slot);
         let is_old = {
             let block = self.block_mut_unchecked(slot);
-            match &mut block.data {
-                BlockData::Words(words) => words[index as usize] = value,
-                BlockData::Bytes(_) => unreachable!("validated as a word block"),
-            }
+            block.data.words_mut()[index as usize] = value;
             block.header.generation == Generation::Old
         };
         // Write barrier: an old block now (possibly) references a young one.
@@ -420,14 +418,10 @@ impl Heap {
         self.cow_before_write(ptr)?;
         self.note_mutated(ptr);
         let slot = self.slot_of(ptr)?;
-        let block = self.block_mut_unchecked(slot);
-        match &mut block.data {
-            BlockData::Bytes(bytes) => {
-                let le = value.to_le_bytes();
-                bytes[off..off + width as usize].copy_from_slice(&le[..width as usize]);
-            }
-            BlockData::Words(_) => unreachable!("validated as a raw block"),
-        }
+        self.note_unshare(slot);
+        let bytes = self.block_mut_unchecked(slot).data.bytes_mut();
+        let le = value.to_le_bytes();
+        bytes[off..off + width as usize].copy_from_slice(&le[..width as usize]);
         Ok(())
     }
 
@@ -468,10 +462,8 @@ impl Heap {
         self.cow_before_write(dst)?;
         self.note_mutated(dst);
         let slot = self.slot_of(dst)?;
-        match &mut self.block_mut_unchecked(slot).data {
-            BlockData::Bytes(bytes) => bytes[..len].copy_from_slice(&data),
-            BlockData::Words(_) => unreachable!("validated as a raw block"),
-        }
+        self.note_unshare(slot);
+        self.block_mut_unchecked(slot).data.bytes_mut()[..len].copy_from_slice(&data);
         Ok(())
     }
 
@@ -629,6 +621,19 @@ impl Heap {
         }
     }
 
+    /// Account the deferred copy-on-write byte copy the next mutation of
+    /// `slot` will pay because its payload is shared — with a speculation
+    /// clone or with a live [`crate::HeapSnapshot`].  Called just before
+    /// the mutation paths take `words_mut`/`bytes_mut`.
+    fn note_unshare(&mut self, slot: usize) {
+        if let Some(block) = self.blocks[slot].as_ref() {
+            if block.data.is_shared() {
+                self.stats.shared_payload_copies += 1;
+                self.stats.shared_payload_bytes += block.data.byte_size() as u64;
+            }
+        }
+    }
+
     /// Record that `ptr`'s table entry was released: the index joins the
     /// delta fixup set and stops being dirty (a freed block has no content
     /// to ship).
@@ -695,6 +700,64 @@ impl Heap {
             .collect()
     }
 
+    /// Freeze the current program-visible heap state into an owned,
+    /// thread-safe [`crate::HeapSnapshot`] in **O(pointer-table)** time.
+    ///
+    /// This is the zero-pause half of the asynchronous checkpoint pipeline
+    /// (paper §4.3's copy-on-write machinery turned outward): block
+    /// payloads are reference-counted, so the freeze clones pointers, not
+    /// bytes.  The mutator resumes immediately; the first subsequent write
+    /// to each still-shared block pays that block's copy lazily
+    /// ([`HeapStats::shared_payload_copies`] counts them), exactly like the
+    /// first write inside a speculation level.
+    ///
+    /// The snapshot also captures the dirty/freed tracking state, so a
+    /// delta image encoded from it is byte-identical to the delta a
+    /// stop-the-world [`Heap::encode_delta_image_compressed`] would have
+    /// produced at the freeze point.
+    ///
+    /// Interactions (all safe, by construction — the snapshot owns its
+    /// records and never looks back at the heap):
+    ///
+    /// * **Speculation**: freezing inside an open level captures the
+    ///   speculative (current-clone) state; a later rollback or commit
+    ///   does not disturb the snapshot.
+    /// * **GC**: collections may run while a snapshot is live.  Freeing a
+    ///   block drops the heap's reference; the snapshot's reference keeps
+    ///   the frozen payload alive.  Compaction moves slots, which the
+    ///   snapshot never consults.
+    /// * **Multiple snapshots** may be live at once; each is independent.
+    pub fn freeze(&mut self) -> crate::HeapSnapshot {
+        self.stats.snapshots_frozen += 1;
+        let records: Vec<(PtrIdx, Block)> = self
+            .table
+            .iter_used()
+            .map(|(idx, slot)| {
+                (
+                    idx,
+                    self.blocks[slot]
+                        .as_ref()
+                        .expect("used table entry points at a block")
+                        .clone(),
+                )
+            })
+            .collect();
+        let mut dirty: Vec<PtrIdx> = self
+            .dirty
+            .iter()
+            .copied()
+            .filter(|p| self.table.lookup(*p).is_some())
+            .collect();
+        dirty.sort();
+        crate::HeapSnapshot::new(
+            self.table.capacity(),
+            records,
+            dirty,
+            self.sorted_freed(),
+            self.tracking,
+        )
+    }
+
     // ------------------------------------------------------------------
     // Migration image (paper §4.2.2: pack / unpack of heap + pointer table)
     // ------------------------------------------------------------------
@@ -717,20 +780,26 @@ impl Heap {
     }
 
     fn encode_blocks(&self, w: &mut WireWriter, batched: bool) {
-        w.write_usize(self.table.capacity());
-        let used: Vec<(PtrIdx, usize)> = self.table.iter_used().collect();
-        w.write_usize(used.len());
-        for (idx, slot) in used {
-            w.write_uvarint(idx.0 as u64);
-            let block = self.blocks[slot]
-                .as_ref()
-                .expect("used table entry points at a block");
-            if batched {
-                block.encode_batched(w);
-            } else {
-                block.encode(w);
-            }
-        }
+        let records = self.live_records();
+        encode_full_records(w, self.table.capacity(), &records, batched);
+    }
+
+    /// The live `(index, block)` records in ascending pointer order — the
+    /// record list every full-image layout serialises.  [`Heap::freeze`]
+    /// captures exactly this list (as owned, payload-shared blocks), which
+    /// is why snapshot images are byte-identical to stop-the-world ones.
+    fn live_records(&self) -> Vec<(PtrIdx, &Block)> {
+        self.table
+            .iter_used()
+            .map(|(idx, slot)| {
+                (
+                    idx,
+                    self.blocks[slot]
+                        .as_ref()
+                        .expect("used table entry points at a block"),
+                )
+            })
+            .collect()
     }
 
     /// Rebuild a heap from an image produced by [`Heap::encode_image`].
@@ -765,21 +834,8 @@ impl Heap {
     /// layout paid over v1 varints — and then some — while the SoA
     /// staging keeps encode as fast as the batched path.
     pub fn encode_image_compressed(&self, w: &mut WireWriter, allowed: CodecSet) {
-        w.write_usize(self.table.capacity());
-        let records: Vec<(PtrIdx, &Block)> = self
-            .table
-            .iter_used()
-            .map(|(idx, slot)| {
-                (
-                    idx,
-                    self.blocks[slot]
-                        .as_ref()
-                        .expect("used table entry points at a block"),
-                )
-            })
-            .collect();
-        w.write_usize(records.len());
-        self.encode_records_slab(w, &records, allowed);
+        let records = self.live_records();
+        encode_full_slab(w, self.table.capacity(), &records, allowed);
     }
 
     /// Rebuild a heap from an image produced by
@@ -790,102 +846,6 @@ impl Heap {
     ) -> Result<Heap, WireError> {
         let (capacity, blocks) = Heap::parse_blocks_slab(r)?;
         Heap::build_from_blocks(capacity, blocks, config)
-    }
-
-    /// Gather `records` into the four v5 slabs and write them as
-    /// compressed frames: meta (index, kind, length per record), word
-    /// tags, word payloads, byte payloads.  Shared by full and delta
-    /// encoding.
-    ///
-    /// Hot-path shape: one sizing pass (which also emits the meta slab),
-    /// the word codec chosen from a staged *prefix sample* only, then one
-    /// fused staging pass — when the delta-varint filter wins, payload
-    /// words stream straight through [`mojave_wire::VarintStream`] and the
-    /// 8-bytes-per-word `u64` slab is never materialised.
-    fn encode_records_slab(
-        &self,
-        w: &mut WireWriter,
-        records: &[(PtrIdx, &Block)],
-        allowed: CodecSet,
-    ) {
-        // Staging exactly the codec crate's choice-sample prefix makes
-        // the sampled choice identical to a choice over the full slab.
-        use mojave_wire::CHOICE_SAMPLE_WORDS;
-
-        let mut meta = WireWriter::new();
-        let mut word_total = 0usize;
-        let mut byte_total = 0usize;
-        for (idx, block) in records {
-            meta.write_uvarint(idx.0 as u64);
-            block.header.kind.encode(&mut meta);
-            meta.write_usize(block.len());
-            match &block.data {
-                BlockData::Words(words) => word_total += words.len(),
-                BlockData::Bytes(bytes) => byte_total += bytes.len(),
-            }
-        }
-
-        let mut sample: Vec<u64> = Vec::with_capacity(word_total.min(CHOICE_SAMPLE_WORDS));
-        'sample: for (_, block) in records {
-            if let BlockData::Words(words) = &block.data {
-                for word in words {
-                    if sample.len() == CHOICE_SAMPLE_WORDS {
-                        break 'sample;
-                    }
-                    sample.push(word.to_raw().1);
-                }
-            }
-        }
-        let word_codec = choose_words(&sample, allowed);
-        drop(sample);
-
-        w.write_byte_frame(meta.as_bytes(), choose_bytes(meta.as_bytes(), allowed));
-        let mut tags: Vec<u8> = Vec::with_capacity(word_total);
-        let mut raw: Vec<u8> = Vec::with_capacity(byte_total);
-        match word_codec {
-            mojave_wire::CodecId::Varint | mojave_wire::CodecId::VarintLz => {
-                let mut varint: Vec<u8> = Vec::with_capacity(word_total * 2 + 16);
-                let mut stream = mojave_wire::VarintStream::new();
-                for (_, block) in records {
-                    match &block.data {
-                        BlockData::Words(words) => {
-                            for word in words {
-                                let (tag, value) = word.to_raw();
-                                tags.push(tag);
-                                stream.push(value, &mut varint);
-                            }
-                        }
-                        BlockData::Bytes(bytes) => raw.extend_from_slice(bytes),
-                    }
-                }
-                w.write_byte_frame(&tags, choose_bytes(&tags, allowed));
-                if word_codec == mojave_wire::CodecId::VarintLz {
-                    let mut folded = Vec::new();
-                    mojave_wire::compress_lz_bytes(&varint, &mut folded);
-                    w.write_word_frame_parts(word_total, word_codec, &folded);
-                } else {
-                    w.write_word_frame_parts(word_total, word_codec, &varint);
-                }
-            }
-            mojave_wire::CodecId::Raw | mojave_wire::CodecId::Lz => {
-                let mut payload: Vec<u64> = Vec::with_capacity(word_total);
-                for (_, block) in records {
-                    match &block.data {
-                        BlockData::Words(words) => {
-                            for word in words {
-                                let (tag, value) = word.to_raw();
-                                tags.push(tag);
-                                payload.push(value);
-                            }
-                        }
-                        BlockData::Bytes(bytes) => raw.extend_from_slice(bytes),
-                    }
-                }
-                w.write_byte_frame(&tags, choose_bytes(&tags, allowed));
-                w.write_word_frame(&payload, word_codec);
-            }
-        }
-        w.write_byte_frame(&raw, choose_bytes(&raw, allowed));
     }
 
     /// Decode `count` v5 slab records (the four compressed frames) back
@@ -930,7 +890,7 @@ impl Heap {
                     words.push(Word::from_raw(tags[k], payload[k])?);
                 }
                 word_off += len;
-                BlockData::Words(words)
+                BlockData::words(words)
             } else {
                 if len > raw.len() - byte_off {
                     return Err(WireError::Invalid(format!(
@@ -940,7 +900,7 @@ impl Heap {
                 }
                 let bytes = raw[byte_off..byte_off + len].to_vec();
                 byte_off += len;
-                BlockData::Bytes(bytes)
+                BlockData::bytes(bytes)
             };
             records.push((
                 idx,
@@ -1023,13 +983,7 @@ impl Heap {
     /// encoding "nothing changed" would silently resolve to stale state.
     pub fn encode_delta_image(&self, w: &mut WireWriter) {
         let records = self.delta_dirty_records();
-        w.write_usize(self.table.capacity());
-        w.write_usize(records.len());
-        for (ptr, block) in &records {
-            w.write_uvarint(ptr.0 as u64);
-            block.encode_batched(w);
-        }
-        self.write_freed_fixups(w);
+        encode_delta_batched(w, self.table.capacity(), &records, &self.sorted_freed());
     }
 
     /// Serialise the dirty set in the **compressed v5 slab layout** — the
@@ -1041,10 +995,13 @@ impl Heap {
     /// exactly like [`Heap::encode_delta_image`].
     pub fn encode_delta_image_compressed(&self, w: &mut WireWriter, allowed: CodecSet) {
         let records = self.delta_dirty_records();
-        w.write_usize(self.table.capacity());
-        w.write_usize(records.len());
-        self.encode_records_slab(w, &records, allowed);
-        self.write_freed_fixups(w);
+        encode_delta_slab(
+            w,
+            self.table.capacity(),
+            &records,
+            &self.sorted_freed(),
+            allowed,
+        );
     }
 
     /// The live dirty blocks, sorted by pointer index — the record set
@@ -1084,13 +1041,10 @@ impl Heap {
     }
 
     /// The sorted freed-index fixup list both delta layouts append.
-    fn write_freed_fixups(&self, w: &mut WireWriter) {
+    fn sorted_freed(&self) -> Vec<PtrIdx> {
         let mut freed: Vec<PtrIdx> = self.freed_since_clean.iter().copied().collect();
         freed.sort();
-        w.write_usize(freed.len());
-        for ptr in freed {
-            w.write_uvarint(ptr.0 as u64);
-        }
+        freed
     }
 
     /// Rebuild a heap from a base image plus a delta produced by
@@ -1264,6 +1218,184 @@ impl Heap {
         }
         Ok(heap)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared record-list encoders
+//
+// Full and delta images, in every layout, serialise a `(pointer index,
+// block)` record list plus a little framing.  [`Heap`] passes its live (or
+// dirty) records; [`crate::HeapSnapshot`] passes the frozen records it
+// captured — going through the same functions is what makes a snapshot
+// image byte-identical to a stop-the-world image of the same logical state.
+// ---------------------------------------------------------------------------
+
+/// Write a full image: table capacity, record count, then each record in
+/// the batched (v4) or legacy per-word (v1) block layout.
+pub(crate) fn encode_full_records(
+    w: &mut WireWriter,
+    capacity: usize,
+    records: &[(PtrIdx, &Block)],
+    batched: bool,
+) {
+    w.write_usize(capacity);
+    w.write_usize(records.len());
+    for (idx, block) in records {
+        w.write_uvarint(idx.0 as u64);
+        if batched {
+            block.encode_batched(w);
+        } else {
+            block.encode(w);
+        }
+    }
+}
+
+/// Write a full image in the compressed v5 slab layout.
+pub(crate) fn encode_full_slab(
+    w: &mut WireWriter,
+    capacity: usize,
+    records: &[(PtrIdx, &Block)],
+    allowed: CodecSet,
+) {
+    w.write_usize(capacity);
+    w.write_usize(records.len());
+    encode_records_slab(w, records, allowed);
+}
+
+/// Write a delta image in the batched (v4) block layout: capacity, dirty
+/// records, then the freed-index fixups.
+pub(crate) fn encode_delta_batched(
+    w: &mut WireWriter,
+    capacity: usize,
+    records: &[(PtrIdx, &Block)],
+    freed: &[PtrIdx],
+) {
+    w.write_usize(capacity);
+    w.write_usize(records.len());
+    for (ptr, block) in records {
+        w.write_uvarint(ptr.0 as u64);
+        block.encode_batched(w);
+    }
+    write_freed_fixups(w, freed);
+}
+
+/// Write a delta image in the compressed v5 slab layout.
+pub(crate) fn encode_delta_slab(
+    w: &mut WireWriter,
+    capacity: usize,
+    records: &[(PtrIdx, &Block)],
+    freed: &[PtrIdx],
+    allowed: CodecSet,
+) {
+    w.write_usize(capacity);
+    w.write_usize(records.len());
+    encode_records_slab(w, records, allowed);
+    write_freed_fixups(w, freed);
+}
+
+/// The freed-index fixup list both delta layouts append (`freed` must be
+/// sorted so identical states produce identical images).
+pub(crate) fn write_freed_fixups(w: &mut WireWriter, freed: &[PtrIdx]) {
+    debug_assert!(freed.windows(2).all(|p| p[0] < p[1]));
+    w.write_usize(freed.len());
+    for ptr in freed {
+        w.write_uvarint(ptr.0 as u64);
+    }
+}
+
+/// Gather `records` into the four v5 slabs and write them as
+/// compressed frames: meta (index, kind, length per record), word
+/// tags, word payloads, byte payloads.  Shared by full and delta
+/// encoding.
+///
+/// Hot-path shape: one sizing pass (which also emits the meta slab),
+/// the word codec chosen from a staged *prefix sample* only, then one
+/// fused staging pass — when the delta-varint filter wins, payload
+/// words stream straight through [`mojave_wire::VarintStream`] and the
+/// 8-bytes-per-word `u64` slab is never materialised.
+pub(crate) fn encode_records_slab(
+    w: &mut WireWriter,
+    records: &[(PtrIdx, &Block)],
+    allowed: CodecSet,
+) {
+    // Staging exactly the codec crate's choice-sample prefix makes
+    // the sampled choice identical to a choice over the full slab.
+    use mojave_wire::CHOICE_SAMPLE_WORDS;
+
+    let mut meta = WireWriter::new();
+    let mut word_total = 0usize;
+    let mut byte_total = 0usize;
+    for (idx, block) in records {
+        meta.write_uvarint(idx.0 as u64);
+        block.header.kind.encode(&mut meta);
+        meta.write_usize(block.len());
+        match &block.data {
+            BlockData::Words(words) => word_total += words.len(),
+            BlockData::Bytes(bytes) => byte_total += bytes.len(),
+        }
+    }
+
+    let mut sample: Vec<u64> = Vec::with_capacity(word_total.min(CHOICE_SAMPLE_WORDS));
+    'sample: for (_, block) in records {
+        if let BlockData::Words(words) = &block.data {
+            for word in words.iter() {
+                if sample.len() == CHOICE_SAMPLE_WORDS {
+                    break 'sample;
+                }
+                sample.push(word.to_raw().1);
+            }
+        }
+    }
+    let word_codec = choose_words(&sample, allowed);
+    drop(sample);
+
+    w.write_byte_frame(meta.as_bytes(), choose_bytes(meta.as_bytes(), allowed));
+    let mut tags: Vec<u8> = Vec::with_capacity(word_total);
+    let mut raw: Vec<u8> = Vec::with_capacity(byte_total);
+    match word_codec {
+        mojave_wire::CodecId::Varint | mojave_wire::CodecId::VarintLz => {
+            let mut varint: Vec<u8> = Vec::with_capacity(word_total * 2 + 16);
+            let mut stream = mojave_wire::VarintStream::new();
+            for (_, block) in records {
+                match &block.data {
+                    BlockData::Words(words) => {
+                        for word in words.iter() {
+                            let (tag, value) = word.to_raw();
+                            tags.push(tag);
+                            stream.push(value, &mut varint);
+                        }
+                    }
+                    BlockData::Bytes(bytes) => raw.extend_from_slice(bytes),
+                }
+            }
+            w.write_byte_frame(&tags, choose_bytes(&tags, allowed));
+            if word_codec == mojave_wire::CodecId::VarintLz {
+                let mut folded = Vec::new();
+                mojave_wire::compress_lz_bytes(&varint, &mut folded);
+                w.write_word_frame_parts(word_total, word_codec, &folded);
+            } else {
+                w.write_word_frame_parts(word_total, word_codec, &varint);
+            }
+        }
+        mojave_wire::CodecId::Raw | mojave_wire::CodecId::Lz => {
+            let mut payload: Vec<u64> = Vec::with_capacity(word_total);
+            for (_, block) in records {
+                match &block.data {
+                    BlockData::Words(words) => {
+                        for word in words.iter() {
+                            let (tag, value) = word.to_raw();
+                            tags.push(tag);
+                            payload.push(value);
+                        }
+                    }
+                    BlockData::Bytes(bytes) => raw.extend_from_slice(bytes),
+                }
+            }
+            w.write_byte_frame(&tags, choose_bytes(&tags, allowed));
+            w.write_word_frame(&payload, word_codec);
+        }
+    }
+    w.write_byte_frame(&raw, choose_bytes(&raw, allowed));
 }
 
 #[cfg(test)]

@@ -63,6 +63,7 @@ mod error;
 mod gc;
 mod heap;
 mod pointer_table;
+mod snapshot;
 mod stats;
 mod word;
 
@@ -74,5 +75,6 @@ pub use heap::{
     image_payload_stats, Heap, HeapConfig, ImageCodec, PayloadWireStats, HEADER_OVERHEAD_BYTES,
 };
 pub use pointer_table::{PointerTable, PtrIdx};
+pub use snapshot::HeapSnapshot;
 pub use stats::HeapStats;
 pub use word::Word;

@@ -19,7 +19,11 @@ pub struct HeapStats {
     pub blocks_compacted: u64,
     /// Copy-on-write clones made on behalf of open speculations.
     pub cow_clones: u64,
-    /// Bytes cloned by copy-on-write.
+    /// Bytes *logically preserved* by those clones.  Since block payloads
+    /// became reference-counted the clone itself is a pointer bump; the
+    /// physical copy is deferred to the first write of a still-shared
+    /// payload and recorded in [`HeapStats::shared_payload_bytes`] — do
+    /// not sum the two counters as if they were independent copies.
     pub cow_bytes: u64,
     /// Speculation levels entered.
     pub speculations_entered: u64,
@@ -27,6 +31,15 @@ pub struct HeapStats {
     pub speculations_committed: u64,
     /// Speculation levels rolled back.
     pub speculations_rolled_back: u64,
+    /// Zero-pause snapshots taken by [`crate::Heap::freeze`].
+    pub snapshots_frozen: u64,
+    /// Payload copies forced because a mutation hit a block whose payload
+    /// was still shared — with a speculation clone or a live snapshot.
+    /// This is the deferred half of the copy-on-write cost: cloning and
+    /// freezing are pointer bumps, the byte copy lands here.
+    pub shared_payload_copies: u64,
+    /// Bytes copied by those forced un-sharing copies.
+    pub shared_payload_bytes: u64,
 }
 
 impl HeapStats {

@@ -203,4 +203,81 @@ proptest! {
             prop_assert!(heap.block(*p).is_ok());
         }
     }
+
+    /// A zero-pause COW snapshot's images — full **and** delta, across
+    /// every codec and the batched layout — are byte-identical to
+    /// stop-the-world images taken at the same logical point, no matter
+    /// how the mutator interleaves before the freeze or keeps mutating
+    /// (plain stores, allocations, frees, speculation) after it.
+    #[test]
+    fn snapshot_images_byte_identical_to_stop_the_world(
+        before in proptest::collection::vec(action_strategy(4), 0..48),
+        after in proptest::collection::vec(action_strategy(4), 0..48),
+        with_free in any::<bool>(),
+        speculate_after in any::<bool>(),
+    ) {
+        use mojave_wire::{CodecId, CodecSet};
+        let codec_sets = [
+            CodecSet::all(),
+            CodecSet::raw_only(),
+            CodecSet::only(CodecId::Varint),
+            CodecSet::only(CodecId::Lz),
+            CodecSet::only(CodecId::VarintLz),
+        ];
+
+        let (mut heap, arrays) = build_heap(4);
+        heap.mark_clean();
+        for action in &before {
+            apply(&mut heap, &arrays, action);
+        }
+        if with_free {
+            // A collection frees the unrooted `Alloc` blocks, populating
+            // the delta's freed-fixup set (and compacting slots).
+            let roots: Vec<Word> = arrays.iter().map(|p| Word::Ptr(*p)).collect();
+            heap.gc_major(&roots);
+        }
+
+        // Stop-the-world reference images at the logical freeze point.
+        let encode = |f: &dyn Fn(&mut WireWriter)| {
+            let mut w = WireWriter::new();
+            f(&mut w);
+            w.into_bytes()
+        };
+        let want_batched = encode(&|w| heap.encode_image(w));
+        let want_batched_delta = encode(&|w| heap.encode_delta_image(w));
+        let want_full: Vec<Vec<u8>> = codec_sets
+            .iter()
+            .map(|set| encode(&|w| heap.encode_image_compressed(w, *set)))
+            .collect();
+        let want_delta: Vec<Vec<u8>> = codec_sets
+            .iter()
+            .map(|set| encode(&|w| heap.encode_delta_image_compressed(w, *set)))
+            .collect();
+
+        let snap = heap.freeze();
+
+        // The mutator races ahead: ordinary mutations, and optionally a
+        // speculation level with its own copy-on-write clones.
+        let level = if speculate_after { Some(heap.spec_enter()) } else { None };
+        for action in &after {
+            apply(&mut heap, &arrays, action);
+        }
+        if let Some(level) = level {
+            heap.spec_rollback(level).unwrap();
+        }
+
+        prop_assert_eq!(&encode(&|w| snap.encode_image(w)), &want_batched);
+        let mut w = WireWriter::new();
+        snap.encode_delta_image(&mut w).unwrap();
+        prop_assert_eq!(&w.into_bytes(), &want_batched_delta);
+        for (i, set) in codec_sets.iter().enumerate() {
+            prop_assert_eq!(
+                &encode(&|w| snap.encode_image_compressed(w, *set)),
+                &want_full[i]
+            );
+            let mut w = WireWriter::new();
+            snap.encode_delta_image_compressed(&mut w, *set).unwrap();
+            prop_assert_eq!(&w.into_bytes(), &want_delta[i]);
+        }
+    }
 }

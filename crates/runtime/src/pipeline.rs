@@ -1,0 +1,299 @@
+//! The checkpoint pipeline: a bounded queue of [`SnapshotPack`]s consumed
+//! by a worker thread that runs the deferred encode (codec choice, slab
+//! staging, compression) and the sink delivery.
+
+use mojave_core::{DeliveryOutcome, MigrationSink, PipelineStats, SnapshotPack};
+use mojave_fir::MigrateProtocol;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// What `submit` does when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the mutator until a worker frees a slot.  Never loses a
+    /// checkpoint; the pause is bounded by one in-flight encode.
+    #[default]
+    Block,
+    /// Replace the newest **queued delta** with the incoming checkpoint
+    /// and account it in [`PipelineStats::coalesced`].
+    ///
+    /// Dropping a queued-but-unstarted *delta* is always safe: deltas are
+    /// cumulative since their full base, so any newer checkpoint of the
+    /// same process strictly supersedes an older queued delta, and
+    /// nothing ever resolves against a delta (only against full images).
+    /// Queued **full** images are never dropped — a full may be the
+    /// pinned base of deltas submitted after it, and the FIFO order is
+    /// what guarantees the base is stored before those deltas.  When the
+    /// queue holds only fulls, the policy falls back to blocking.
+    CoalesceLatest,
+}
+
+/// Configuration of a [`CheckpointPipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Maximum checkpoints queued ahead of the worker (≥ 1).
+    pub queue_capacity: usize,
+    /// What to do when the queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Drain the pipeline inside every deferred delivery, making the
+    /// asynchronous path a **barrier**: the submission returns only after
+    /// its checkpoint is durably delivered, and the returned outcome is
+    /// the real one instead of the optimistic `Stored`.
+    ///
+    /// This is the determinism switch: with it, a deterministic-mode grid
+    /// replay interleaves checkpoint side effects (store writes, network
+    /// accounting, failure injection) at exactly the points the
+    /// synchronous path would, so replay digests are identical with the
+    /// pipeline on or off.  It deliberately gives back the pause benefit
+    /// — replay proofs buy determinism with latency.
+    pub drain_after_submit: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            queue_capacity: 4,
+            backpressure: BackpressurePolicy::default(),
+            drain_after_submit: false,
+        }
+    }
+}
+
+/// One queued checkpoint: where it goes, the frozen state, and the slot
+/// its real delivery outcome lands in.
+struct Job {
+    protocol: MigrateProtocol,
+    target: String,
+    pack: SnapshotPack,
+    outcome: Arc<OnceLock<DeliveryOutcome>>,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Whether the worker is currently encoding/delivering a job.
+    in_flight: bool,
+    shutdown: bool,
+    stats: PipelineStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is queued (or shutdown requested).
+    job_ready: Condvar,
+    /// Signalled when the worker takes a job (queue space available).
+    space_ready: Condvar,
+    /// Signalled when the worker finishes a job (drain waits here).
+    idle: Condvar,
+}
+
+/// A single-worker checkpoint pipeline.
+///
+/// One worker, deliberately: checkpoints of one process form an ordered
+/// chain (a delta must reach the store after the full it pins), and FIFO
+/// execution is the cheapest way to keep that invariant.  Concurrency
+/// comes from the pipeline overlapping with the *mutator*, not from
+/// encoding two checkpoints of the same process at once.
+///
+/// Dropping the pipeline drains it first, so accepted checkpoints are
+/// durable once the owner (normally an
+/// [`AsyncSink`](crate::AsyncSink) inside a finished [`mojave_core::Process`])
+/// goes away.
+pub struct CheckpointPipeline {
+    shared: Arc<Shared>,
+    config: PipelineConfig,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CheckpointPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointPipeline")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CheckpointPipeline {
+    /// Spawn the worker thread, delivering into `sink`.
+    ///
+    /// The sink is shared behind a mutex because base negotiation
+    /// (`has_base`) and synchronous deliveries still reach it from the
+    /// mutator thread; the worker holds the lock only for the delivery
+    /// itself, never during the encode.
+    pub fn new(sink: Arc<Mutex<Box<dyn MigrationSink + Send>>>, config: PipelineConfig) -> Self {
+        let config = PipelineConfig {
+            queue_capacity: config.queue_capacity.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                in_flight: false,
+                shutdown: false,
+                stats: PipelineStats::default(),
+            }),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("mojave-ckpt-pipeline".into())
+            .spawn(move || worker_loop(worker_shared, sink))
+            .expect("spawn checkpoint pipeline worker");
+        CheckpointPipeline {
+            shared,
+            config,
+            worker: Some(worker),
+        }
+    }
+
+    /// Queue a checkpoint for deferred encode + delivery, applying the
+    /// configured backpressure policy when the queue is full.  Returns
+    /// the slot the worker fills with the real [`DeliveryOutcome`].
+    ///
+    /// The mutator-side cost of the whole submission — the heap freeze
+    /// recorded in the pack plus any blocking on a full queue — is
+    /// accounted into [`PipelineStats::pause_ns`].
+    pub fn submit(
+        &self,
+        protocol: MigrateProtocol,
+        target: &str,
+        pack: SnapshotPack,
+    ) -> Arc<OnceLock<DeliveryOutcome>> {
+        let submit_start = Instant::now();
+        let outcome = Arc::new(OnceLock::new());
+        let job = Job {
+            protocol,
+            target: target.to_owned(),
+            pack,
+            outcome: Arc::clone(&outcome),
+        };
+        let mut state = self.shared.state.lock().expect("pipeline state lock");
+        state.stats.submitted += 1;
+        state.stats.pause_ns += job.pack.freeze_ns;
+        let mut job = Some(job);
+        loop {
+            if state.queue.len() < self.config.queue_capacity {
+                state
+                    .queue
+                    .push_back(job.take().expect("job still pending"));
+                break;
+            }
+            if self.config.backpressure == BackpressurePolicy::CoalesceLatest
+                && state.queue.back().is_some_and(|old| old.pack.is_delta())
+            {
+                let superseded = state.queue.pop_back().expect("checked non-empty");
+                let _ = superseded.outcome.set(DeliveryOutcome::Failed(
+                    "coalesced away by a newer checkpoint".into(),
+                ));
+                state.stats.coalesced += 1;
+                state
+                    .queue
+                    .push_back(job.take().expect("job still pending"));
+                break;
+            }
+            state = self
+                .shared
+                .space_ready
+                .wait(state)
+                .expect("pipeline state lock");
+        }
+        state.stats.queue_depth = state.queue.len();
+        state.stats.pause_ns += submit_start.elapsed().as_nanos() as u64;
+        drop(state);
+        self.shared.job_ready.notify_all();
+        outcome
+    }
+
+    /// Block until the queue is empty and the worker is idle — every
+    /// previously submitted checkpoint is encoded and delivered.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().expect("pipeline state lock");
+        while !state.queue.is_empty() || state.in_flight {
+            state = self.shared.idle.wait(state).expect("pipeline state lock");
+        }
+    }
+
+    /// A snapshot of the pipeline counters.
+    pub fn stats(&self) -> PipelineStats {
+        let state = self.shared.state.lock().expect("pipeline state lock");
+        PipelineStats {
+            queue_depth: state.queue.len(),
+            ..state.stats
+        }
+    }
+}
+
+impl Drop for CheckpointPipeline {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pipeline state lock");
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        if let Some(worker) = self.worker.take() {
+            // The worker drains the remaining queue before honouring the
+            // shutdown flag, so accepted checkpoints are never lost.
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, sink: Arc<Mutex<Box<dyn MigrationSink + Send>>>) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pipeline state lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.in_flight = true;
+                    state.stats.queue_depth = state.queue.len();
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("pipeline state lock");
+            }
+        };
+        shared.space_ready.notify_all();
+
+        // The expensive half, off the mutator thread: codec choice, slab
+        // staging, compression — then the delivery.
+        let encode_start = Instant::now();
+        let encoded = job.pack.into_image();
+        let encode_ns = encode_start.elapsed().as_nanos() as u64;
+        let (outcome, wire) = match encoded {
+            Ok(image) => {
+                let wire = image.heap_payload_wire_stats();
+                let outcome = sink.lock().expect("pipeline sink lock").deliver(
+                    job.protocol,
+                    &job.target,
+                    &image,
+                );
+                (outcome, Some(wire))
+            }
+            Err(e) => (
+                DeliveryOutcome::Failed(format!("deferred encode failed: {e}")),
+                None,
+            ),
+        };
+
+        let mut state = shared.state.lock().expect("pipeline state lock");
+        state.stats.encode_ns += encode_ns;
+        state.stats.completed += 1;
+        if let Some((raw, stored)) = wire {
+            state.stats.bytes_raw += raw;
+            state.stats.bytes_stored += stored;
+        }
+        if matches!(outcome, DeliveryOutcome::Failed(_)) {
+            state.stats.failed += 1;
+        }
+        state.in_flight = false;
+        let _ = job.outcome.set(outcome);
+        drop(state);
+        shared.idle.notify_all();
+    }
+}

@@ -16,6 +16,8 @@
 //!   manager and migration engine (the paper's primary contribution),
 //! * [`lang`] — the MojaveC front end,
 //! * [`cluster`] — the simulated distributed environment,
+//! * [`runtime`] — the asynchronous checkpoint/migration pipeline
+//!   (zero-pause COW heap snapshots encoded and delivered off-thread),
 //! * [`grid`] — the canonical grid computation application.
 //!
 //! ## Quickstart
@@ -49,4 +51,5 @@ pub use mojave_fir as fir;
 pub use mojave_grid as grid;
 pub use mojave_heap as heap;
 pub use mojave_lang as lang;
+pub use mojave_runtime as runtime;
 pub use mojave_wire as wire;

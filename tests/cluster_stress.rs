@@ -9,7 +9,8 @@
 
 use mojave::cluster::{Cluster, ClusterConfig};
 use mojave::grid::{
-    run_grid_deterministic, run_grid_deterministic_with_codec, FailurePlan, GridConfig, GridReport,
+    run_grid_deterministic, run_grid_deterministic_with_codec, run_grid_with, FailurePlan,
+    GridConfig, GridOptions, GridReport,
 };
 use mojave::wire::CodecId;
 
@@ -126,6 +127,61 @@ fn stress_matrix_three_seeds_with_failure() {
         assert!(report.recovered_from_failure, "seed {seed:#x}");
         assert_eq!(report.rollbacks, 2, "seed {seed:#x}");
     }
+}
+
+/// CI `stress` async-replay leg: a 64-node deterministic grid run with
+/// mid-run failure produces an **identical replay digest** with the
+/// asynchronous checkpoint pipeline enabled and disabled, and the async
+/// run replays against itself bit-identically.  The pipeline's drain
+/// barriers pin every checkpoint side effect (store write, network
+/// accounting, scheduled failure injection) to the synchronous points.
+#[test]
+#[ignore = "large-cluster stress; run via the CI stress job or --ignored"]
+fn sixty_four_node_async_replay_digest_matches_sync() {
+    let config = stress_config(64);
+    let failure = Some(FailurePlan {
+        victim: 40,
+        after_checkpoints: 1,
+    });
+    let seed = 0xA51D_1CE5u64;
+    let sync = run_grid_with(
+        &config,
+        failure,
+        GridOptions {
+            seed: Some(seed),
+            ..GridOptions::default()
+        },
+    )
+    .expect("sync run succeeds");
+    let async_options = GridOptions {
+        seed: Some(seed),
+        async_checkpoints: true,
+        ..GridOptions::default()
+    };
+    let asynchronous = run_grid_with(&config, failure, async_options).expect("async run succeeds");
+    let replay = run_grid_with(&config, failure, async_options).expect("async replay succeeds");
+
+    assert!(sync.is_correct() && asynchronous.is_correct());
+    assert!(asynchronous.recovered_from_failure);
+    assert_eq!(
+        sync.replay_digest(),
+        asynchronous.replay_digest(),
+        "async checkpoints changed the 64-node replay digest"
+    );
+    assert_eq!(
+        asynchronous.replay_digest(),
+        replay.replay_digest(),
+        "async run did not replay bit-identically against itself"
+    );
+    assert_eq!(
+        asynchronous.checkpoint_stored_bytes,
+        replay.checkpoint_stored_bytes
+    );
+    // The pipeline actually ran: deltas flowed through it and both time
+    // counters were accounted.
+    assert!(asynchronous.delta_checkpoints > 0);
+    assert!(asynchronous.checkpoint_pause_ns > 0);
+    assert!(asynchronous.checkpoint_encode_ns > 0);
 }
 
 /// 128 nodes: double the shard count, same guarantees.
