@@ -366,6 +366,164 @@ fn golden_v5_image_resumes_execution() {
     assert_eq!(process.run().unwrap(), RunOutcome::Exit(5));
 }
 
+/// The **v5 delta** heap payload the fixture below carries: the slab-delta
+/// framing (capacity, dirty count, the same four codec-tagged frames as a
+/// full v5 image, then the freed-index fixup list).
+///
+/// ```text
+/// capacity=1, dirty=1
+/// meta  [raw_len=3,  codec=Raw(0),    bytes [idx=0, kind=5, len=1]]
+/// tags  [raw_len=1,  codec=Raw(0),    bytes [1]       (Word::Int)]
+/// words [count=1,    codec=Varint(1), bytes [18]      (zigzag Δ9)]
+/// bytes [raw_len=0,  codec=Raw(0),    bytes []]
+/// freed=0
+/// ```
+fn golden_v5_delta_payload() -> Vec<u8> {
+    let mut delta = WireWriter::new();
+    delta.write_usize(1); // pointer-table capacity
+    delta.write_usize(1); // one dirty record
+                          // meta frame (Raw): idx 0, BlockKind::MigrateEnv, one word.
+    delta.write_uvarint(3);
+    delta.write_u8(0);
+    delta.write_bytes(&[0, 5, 1]);
+    // tag-slab frame (Raw): one Word::Int tag.
+    delta.write_uvarint(1);
+    delta.write_u8(0);
+    delta.write_bytes(&[1]);
+    // word-slab frame (Varint): the new value 9 → delta 9 → zig-zag 18.
+    delta.write_uvarint(1);
+    delta.write_u8(1);
+    delta.write_bytes(&[18]);
+    // byte-slab frame (Raw): empty.
+    delta.write_uvarint(0);
+    delta.write_u8(0);
+    delta.write_bytes(&[]);
+    delta.write_usize(0); // no freed indices
+    delta.into_bytes()
+}
+
+/// Hand-write a **v5 delta** checkpoint image, byte by byte — the delta
+/// counterpart of the full v5 fixture above (the existing delta golden
+/// only covered the batched v4 layout):
+///
+/// ```text
+/// Header        tag 0x01, magic, version=5, arch string
+/// FirProgram    tag 0x02, u32 frame length, program encoding
+/// HeapDelta     tag 0x0A, u32 frame length, body:
+///                 base name "v5-ck" (length-prefixed str),
+///                 base heap-payload fingerprint (LE u64),
+///                 length-prefixed slab-delta payload (see
+///                 `golden_v5_delta_payload`)
+/// MigrateEnv    tag 0x06, u32 frame length, ptr 0
+/// Resume        tag 0x07, u32 frame length, Word::Fun(1), label 3
+/// Speculation   tag 0x09, u32 frame length, 0 open levels
+/// ```
+fn golden_v5_delta_image_bytes() -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.write_header_versioned("ia32-sim", 5);
+    {
+        let mut s = w.begin_section(SectionTag::FirProgram);
+        fixture_program().encode(&mut s);
+    }
+    {
+        let mut s = w.begin_section(SectionTag::HeapDelta);
+        s.write_str("v5-ck"); // base checkpoint name
+        s.write_u64(mojave_wire::fingerprint(&golden_v5_heap_payload()));
+        s.write_bytes(&golden_v5_delta_payload());
+    }
+    {
+        let mut s = w.begin_section(SectionTag::MigrateEnv);
+        s.write_uvarint(0);
+    }
+    {
+        let mut s = w.begin_section(SectionTag::Resume);
+        s.write_u8(6); // Word::Fun tag
+        s.write_uvarint(1); // function 1: `after`
+        s.write_uvarint(3); // migration label
+    }
+    {
+        let mut s = w.begin_section(SectionTag::Speculation);
+        s.write_uvarint(0);
+    }
+    w.into_bytes()
+}
+
+#[test]
+fn golden_v5_delta_image_decodes_and_reencodes_byte_faithfully() {
+    let bytes = golden_v5_delta_image_bytes();
+    let image = MigrationImage::from_bytes(&bytes).expect("v5 delta image decodes");
+    assert_eq!(image.format_version, FORMAT_VERSION);
+    assert_eq!(image.source_arch, "ia32-sim");
+    assert_eq!(image.label, 3);
+    assert_eq!(image.resume_fun, Word::Fun(1));
+    assert!(image.heap_image.is_delta());
+    assert_eq!(image.heap_image.base(), Some("v5-ck"));
+
+    // A delta cannot be decoded standalone…
+    assert!(image.decode_heap(HeapConfig::default()).is_err());
+    // …but resolves against the full v5 golden as its base.
+    let base = MigrationImage::from_bytes(&golden_v5_image_bytes()).expect("base decodes");
+    let heap = image
+        .decode_heap_with_base(&base, HeapConfig::default())
+        .expect("v5 delta resolves");
+    assert_eq!(heap.load(image.migrate_env, 0).unwrap(), Word::Int(9));
+
+    // Byte-faithful: re-encoding a decoded v5 delta image reproduces the
+    // hand-written fixture exactly, so the slab-delta framing cannot
+    // change without this test noticing.
+    assert_eq!(image.to_bytes(), bytes);
+}
+
+#[test]
+fn golden_v5_delta_payload_matches_the_live_encoder() {
+    // The fixture above pins what decoders must *accept* (its word frame
+    // uses Varint); this pins what the current slab-delta encoder
+    // *produces* for the same state change — for a single word the size
+    // heuristic keeps the frame Raw.  Both decode to the same heap.
+    let base = MigrationImage::from_bytes(&golden_v5_image_bytes()).unwrap();
+    let mut heap = base.decode_heap(HeapConfig::default()).unwrap();
+    heap.mark_clean();
+    heap.store(base.migrate_env, 0, Word::Int(9)).unwrap();
+    let mut w = WireWriter::new();
+    heap.encode_delta_image_compressed(&mut w, mojave_wire::CodecSet::all());
+
+    let mut expect = WireWriter::new();
+    expect.write_usize(1); // pointer-table capacity
+    expect.write_usize(1); // one dirty record
+    expect.write_uvarint(3); // meta frame (Raw)
+    expect.write_u8(0);
+    expect.write_bytes(&[0, 5, 1]);
+    expect.write_uvarint(1); // tag-slab frame (Raw)
+    expect.write_u8(0);
+    expect.write_bytes(&[1]);
+    expect.write_uvarint(1); // word-slab frame: Raw wins for one word
+    expect.write_u8(0);
+    expect.write_bytes(&9u64.to_le_bytes());
+    expect.write_uvarint(0); // byte-slab frame (Raw): empty
+    expect.write_u8(0);
+    expect.write_bytes(&[]);
+    expect.write_usize(0); // no freed indices
+    assert_eq!(w.into_bytes(), expect.into_bytes());
+}
+
+#[test]
+fn golden_v5_delta_image_resolves_through_the_store_and_resumes() {
+    let store = CheckpointStore::new();
+    store.put("v5-ck", golden_v5_image_bytes());
+    store.put("v5-ck-delta", golden_v5_delta_image_bytes());
+    // load() resolves the delta transparently into a self-contained image…
+    let image = store.load("v5-ck-delta").unwrap();
+    assert!(!image.heap_image.is_delta());
+    // …that resumes with the delta's heap contents, not the base's.
+    let mut process = Process::from_image(image, ProcessConfig::default()).unwrap();
+    assert_eq!(process.run().unwrap(), RunOutcome::Exit(9));
+
+    // Base resumption is unchanged by the delta sitting next to it.
+    let mut base =
+        Process::from_image(store.load("v5-ck").unwrap(), ProcessConfig::default()).unwrap();
+    assert_eq!(base.run().unwrap(), RunOutcome::Exit(5));
+}
+
 /// A sink that leaves `accepted_codecs` at its trait default — the
 /// stand-in for a pre-v5 runtime behind a forwarding sink.
 struct PreV5Sink;

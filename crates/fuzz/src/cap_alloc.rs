@@ -1,0 +1,96 @@
+//! A counting global allocator for the hostile-input harness.
+//!
+//! Wraps the system allocator with live-byte and high-water-mark counters
+//! so the wire-mutation tests can assert that no mutated image — however
+//! inflated its length fields claim to be — drives the decoder into an
+//! unbounded allocation.  The decoder's own guard is
+//! `mojave_wire::MAX_REASONABLE_LEN`; the cap here is the belt to that
+//! suspenders, measured at the allocator where lies are impossible.
+//!
+//! This is the one module in the workspace that needs `unsafe`: the
+//! [`GlobalAlloc`] trait is unsafe by construction.  The impl only
+//! forwards to [`System`] and updates atomics — it never touches the
+//! returned memory.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counting wrapper around the system allocator.  Install it in a test
+/// binary with `#[global_allocator]`.
+#[derive(Debug)]
+pub struct CapAlloc {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CapAlloc {
+    /// A fresh allocator with zeroed counters (const so it can be a
+    /// `static`).
+    pub const fn new() -> Self {
+        CapAlloc {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bytes currently allocated and not yet freed.
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Self::live`] since the last
+    /// [`Self::reset_peak`].
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark to the current live count, so the next
+    /// [`Self::peak`] reading measures only allocations made after this
+    /// call.
+    pub fn reset_peak(&self) {
+        self.peak.store(self.live(), Ordering::Relaxed);
+    }
+
+    fn record_alloc(&self, size: usize) {
+        let live = self.live.fetch_add(size, Ordering::Relaxed) + size;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn record_free(&self, size: usize) {
+        self.live.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+impl Default for CapAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: every method forwards verbatim to `System` (which upholds the
+// `GlobalAlloc` contract) and additionally updates two atomics; the
+// counters never influence which pointer is returned.
+unsafe impl GlobalAlloc for CapAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            self.record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.record_free(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            self.record_free(layout.size());
+            self.record_alloc(new_size);
+        }
+        p
+    }
+}

@@ -1,0 +1,484 @@
+//! Seeded, tape-driven MojaveC program generator.
+//!
+//! A program is a pure function of a **decision tape**: a slice of `u32`
+//! words consumed left to right.  Every grammar choice reads the next word
+//! (`0` once the tape is exhausted), and choice `0` always selects the
+//! simplest construct — so truncating or zeroing a tape yields a *simpler*
+//! program, and the vendored proptest `Vec<u32>` shrinker doubles as a
+//! program minimizer.
+//!
+//! ## Termination and cross-mode determinism
+//!
+//! Every generated program provably terminates and produces the same exit
+//! value in every execution mode of the differential harness:
+//!
+//! * loops are `for` loops with constant trip counts (≤ 4) and nesting
+//!   depth ≤ 2; there is no `while` and no recursion;
+//! * division and modulo only ever use non-zero constant divisors;
+//! * array indices are either in-range constants or `loopvar % len` with a
+//!   non-negative loop variable;
+//! * speculation is only the well-nested shape
+//!   `int s = speculate(); if (s > 0) { …; commit(s); }` with an optional
+//!   guarded `abort(s)`; after an abort the rollback re-enters the
+//!   continuation with `s == 0`, so the guard fails and the body is
+//!   skipped — `retry` is never emitted because a retry loop re-enters
+//!   with restored locals and cannot terminate;
+//! * speculation level ids (`s…`) are only ever used in guards and
+//!   `commit`/`abort` calls, never in arithmetic: after a mid-speculation
+//!   migration the resumed process renumbers levels, so feeding an id into
+//!   the digest would diverge;
+//! * checkpoint and migrate sites appear only outside speculation bodies
+//!   (resurrecting a checkpoint taken inside a speculation that later
+//!   aborts would diverge from the plain run), except the dedicated
+//!   mid-speculation migrate shape whose level is deliberately never
+//!   committed or aborted afterwards;
+//! * externals are restricted to `print_int`/`int_to_str`/`str_concat`:
+//!   externals state (object store, RNG cursor) does not migrate, so
+//!   `obj_*`/`rand_int`/`clock_us` would diverge across modes.
+//!
+//! ## Semantic heap digest
+//!
+//! Structural heap digests (fingerprints of encoded images) legitimately
+//! differ across modes — GC timing, speculation baking and checkpoint
+//! boundaries all shift block layout.  Instead every program ends with an
+//! epilogue that folds every live scalar and every element of every named
+//! array into `h` with wrapping arithmetic and returns it: **exit-value
+//! equality is heap-digest equality**.
+
+/// Upper bound on tape length used by the test drivers.  Long enough for
+/// programs with a few dozen statements; short enough that shrinking
+/// converges quickly.
+pub const MAX_TAPE: usize = 96;
+
+const MAX_LOOP_DEPTH: u32 = 2;
+const MAX_SPEC_DEPTH: u32 = 2;
+const MAX_ITEMS: u32 = 40;
+
+struct Gen<'a> {
+    tape: &'a [u32],
+    pos: usize,
+    src: String,
+    indent: usize,
+    /// Scalar `int` locals always in scope in `main`.
+    scalars: Vec<String>,
+    /// `(name, len)` of the named arrays folded into the digest.
+    arrays: Vec<(String, u32)>,
+    /// Loop variables currently in scope (always `>= 0`).
+    loop_vars: Vec<String>,
+    loop_depth: u32,
+    spec_depth: u32,
+    helper_count: u32,
+    next_loop: u32,
+    next_spec: u32,
+    next_tmp: u32,
+    items_left: u32,
+}
+
+impl<'a> Gen<'a> {
+    fn new(tape: &'a [u32]) -> Self {
+        Gen {
+            tape,
+            pos: 0,
+            src: String::new(),
+            indent: 0,
+            scalars: Vec::new(),
+            arrays: Vec::new(),
+            loop_vars: Vec::new(),
+            loop_depth: 0,
+            spec_depth: 0,
+            helper_count: 0,
+            next_loop: 0,
+            next_spec: 0,
+            next_tmp: 0,
+            items_left: MAX_ITEMS,
+        }
+    }
+
+    /// Next tape word; `0` (the simplest choice everywhere) once exhausted.
+    fn next(&mut self) -> u32 {
+        let w = self.tape.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        w
+    }
+
+    fn pick(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+
+    /// A small constant in `-9..=9`.
+    fn small_const(&mut self) -> i64 {
+        i64::from(self.pick(19)) - 9
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.src.push_str("    ");
+        }
+        self.src.push_str(s);
+        self.src.push('\n');
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// A variable or small constant (never a call): safe in conditions.
+    fn atom(&mut self) -> String {
+        let n_vars = self.scalars.len() + self.loop_vars.len();
+        let k = self.pick(n_vars as u32 + 2) as usize;
+        if k < self.scalars.len() {
+            self.scalars[k].clone()
+        } else if k < n_vars {
+            self.loop_vars[k - self.scalars.len()].clone()
+        } else {
+            self.small_const().to_string()
+        }
+    }
+
+    /// An in-range index expression for an array of length `len`.
+    fn index_expr(&mut self, len: u32) -> String {
+        if !self.loop_vars.is_empty() && self.pick(2) == 1 {
+            let i = self.pick(self.loop_vars.len() as u32) as usize;
+            let lv = &self.loop_vars[i];
+            format!("{lv} % {len}")
+        } else {
+            self.pick(len).to_string()
+        }
+    }
+
+    fn expr(&mut self, depth: u32) -> String {
+        let kind = self.pick(10);
+        if depth >= 2 || kind <= 2 {
+            return self.atom();
+        }
+        match kind {
+            3..=5 => {
+                let op = ["+", "-", "*"][(kind - 3) as usize];
+                let a = self.expr(depth + 1);
+                let b = self.expr(depth + 1);
+                format!("({a} {op} {b})")
+            }
+            6 => {
+                // Non-zero constant divisor only: no DivisionByZero, and
+                // wrapping semantics are identical on both backends.
+                let op = if self.pick(2) == 0 { "/" } else { "%" };
+                let k = self.pick(8) + 2;
+                let a = self.expr(depth + 1);
+                format!("({a} {op} {k})")
+            }
+            7 if !self.arrays.is_empty() => {
+                let i = self.pick(self.arrays.len() as u32) as usize;
+                let (name, len) = (self.arrays[i].0.clone(), self.arrays[i].1);
+                let idx = self.index_expr(len);
+                format!("{name}[{idx}]")
+            }
+            8 if self.helper_count > 0 => {
+                let f = self.pick(self.helper_count);
+                let a = self.atom();
+                let b = self.atom();
+                format!("f{f}({a}, {b})")
+            }
+            _ => self.atom(),
+        }
+    }
+
+    /// A boolean condition over atoms (the language forbids user calls in
+    /// conditions, and atoms keep it cheap to evaluate on rollback).
+    fn cond(&mut self, depth: u32) -> String {
+        let kind = self.pick(8);
+        if depth >= 1 || kind <= 4 {
+            let op = ["<", "<=", "==", "!=", ">", ">="][self.pick(6) as usize];
+            let a = self.atom();
+            let b = self.atom();
+            return format!("{a} {op} {b}");
+        }
+        match kind {
+            5 => {
+                let a = self.cond(depth + 1);
+                let b = self.cond(depth + 1);
+                format!("({a} && {b})")
+            }
+            6 => {
+                let a = self.cond(depth + 1);
+                let b = self.cond(depth + 1);
+                format!("({a} || {b})")
+            }
+            _ => {
+                let a = self.cond(depth + 1);
+                format!("!({a})")
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn assign(&mut self) {
+        let i = self.pick(self.scalars.len() as u32) as usize;
+        let name = self.scalars[i].clone();
+        let e = self.expr(0);
+        self.line(&format!("{name} = {e};"));
+    }
+
+    fn array_store(&mut self) {
+        if self.arrays.is_empty() {
+            return self.assign();
+        }
+        let i = self.pick(self.arrays.len() as u32) as usize;
+        let (name, len) = (self.arrays[i].0.clone(), self.arrays[i].1);
+        let idx = self.index_expr(len);
+        let e = self.expr(0);
+        self.line(&format!("{name}[{idx}] = {e};"));
+    }
+
+    fn checkpoint_site(&mut self) {
+        // Rotating names: delta checkpoints require that a base is never
+        // overwritten, and the kill-and-resurrect mode resumes the
+        // highest-numbered name.
+        self.line("ckn = ckn + 1;");
+        self.line("checkpoint(str_concat(\"ck-\", int_to_str(ckn)));");
+    }
+
+    fn for_loop(&mut self, in_spec: bool) {
+        let lv = format!("i{}", self.next_loop);
+        self.next_loop += 1;
+        let trip = self.pick(4) + 1;
+        self.line(&format!(
+            "for (int {lv} = 0; {lv} < {trip}; {lv} = {lv} + 1) {{"
+        ));
+        self.indent += 1;
+        self.loop_depth += 1;
+        self.loop_vars.push(lv);
+        let count = self.pick(3) + 1;
+        self.block(count, in_spec);
+        self.loop_vars.pop();
+        self.loop_depth -= 1;
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn if_else(&mut self, in_spec: bool) {
+        let c = self.cond(0);
+        self.line(&format!("if ({c}) {{"));
+        self.indent += 1;
+        let count = self.pick(3) + 1;
+        self.block(count, in_spec);
+        self.indent -= 1;
+        if self.pick(2) == 1 {
+            self.line("} else {");
+            self.indent += 1;
+            let count = self.pick(2) + 1;
+            self.block(count, in_spec);
+            self.indent -= 1;
+        }
+        self.line("}");
+    }
+
+    /// A short-lived allocation that becomes garbage: exercises the
+    /// collector differently in every mode without entering the digest.
+    fn garbage_alloc(&mut self) {
+        let name = format!("tmp{}", self.next_tmp);
+        self.next_tmp += 1;
+        let len = self.pick(5) + 2;
+        let idx = self.pick(len);
+        let e = self.expr(1);
+        self.line(&format!("int[] {name} = alloc_int({len});"));
+        self.line(&format!("{name}[{idx}] = {e};"));
+    }
+
+    /// The well-nested speculation shape.  Variants: plain commit, a
+    /// guarded abort before the commit, or (outside any other speculation)
+    /// a mid-speculation migrate whose level is deliberately left open.
+    fn speculation(&mut self, in_spec: bool) {
+        let sid = format!("s{}", self.next_spec);
+        self.next_spec += 1;
+        let variant = self.pick(3);
+        self.line(&format!("int {sid} = speculate();"));
+        self.line(&format!("if ({sid} > 0) {{"));
+        self.indent += 1;
+        self.spec_depth += 1;
+        let count = self.pick(3) + 1;
+        self.block(count, true);
+        match variant {
+            1 => {
+                // Guarded abort: if taken, the rollback re-enters the
+                // continuation with `sid == 0`, the guard fails and the
+                // re-entered level legally stays open to the end.
+                let c = self.cond(0);
+                self.line(&format!("if ({c}) {{ abort({sid}); }}"));
+                self.line(&format!("commit({sid});"));
+            }
+            2 if !in_spec => {
+                // Mid-speculation migrate: the image bakes the speculative
+                // view; the resumed process continues at level 0 while the
+                // local run keeps the level open.  Both halt with the same
+                // visible heap, and the level is never committed/aborted.
+                self.line("migrate(\"mid-spec\");");
+                self.assign();
+            }
+            _ => self.line(&format!("commit({sid});")),
+        }
+        self.spec_depth -= 1;
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn item(&mut self, in_spec: bool) {
+        if self.items_left == 0 {
+            return self.assign();
+        }
+        self.items_left -= 1;
+        match self.pick(12) {
+            0 | 1 => self.assign(),
+            2 | 3 => self.array_store(),
+            4 => self.if_else(in_spec),
+            5 if self.loop_depth < MAX_LOOP_DEPTH => self.for_loop(in_spec),
+            6 => self.garbage_alloc(),
+            7 => {
+                let a = self.atom();
+                self.line(&format!("print_int({a});"));
+            }
+            8 if !in_spec => self.checkpoint_site(),
+            9 if !in_spec => self.line("migrate(\"far-node\");"),
+            10 | 11 if self.spec_depth < MAX_SPEC_DEPTH => self.speculation(in_spec),
+            _ => self.assign(),
+        }
+    }
+
+    fn block(&mut self, count: u32, in_spec: bool) {
+        for _ in 0..count {
+            self.item(in_spec);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program skeleton
+    // ------------------------------------------------------------------
+
+    fn helper(&mut self, k: u32) {
+        // Pure, non-recursive helpers over their two parameters only.
+        let ops = ["+", "-", "*"];
+        let a = ["x", "y"][self.pick(2) as usize];
+        let b = ["x", "y"][self.pick(2) as usize];
+        let op1 = ops[self.pick(3) as usize];
+        let op2 = ops[self.pick(3) as usize];
+        let c1 = self.small_const();
+        let c2 = self.pick(8) + 2;
+        let body = match self.pick(3) {
+            0 => format!("({a} {op1} {b}) {op2} {c1}"),
+            1 => format!("({a} {op1} {c1}) % {c2}"),
+            _ => format!("({a} * 3 {op1} {b}) / {c2}"),
+        };
+        self.line(&format!("int f{k}(int x, int y) {{"));
+        self.indent += 1;
+        self.line(&format!("return {body};"));
+        self.indent -= 1;
+        self.line("}");
+        self.src.push('\n');
+    }
+
+    fn program(&mut self) {
+        self.line("int mix(int h, int v) {");
+        self.indent += 1;
+        self.line("return h * 31 + v * 7 + 13;");
+        self.indent -= 1;
+        self.line("}");
+        self.src.push('\n');
+
+        self.helper_count = self.pick(3);
+        for k in 0..self.helper_count {
+            self.helper(k);
+        }
+
+        self.line("int main() {");
+        self.indent += 1;
+        self.line("int ckn = 0;");
+        for name in ["va", "vb", "vc"] {
+            let c = self.small_const();
+            self.line(&format!("int {name} = {c};"));
+            self.scalars.push(name.to_owned());
+        }
+        let n_arrays = self.pick(2) + 1;
+        for a in 0..n_arrays {
+            let name = format!("arr{a}");
+            let len = self.pick(7) + 2;
+            let k1 = self.small_const();
+            let k2 = self.small_const();
+            self.line(&format!("int[] {name} = alloc_int({len});"));
+            self.line(&format!(
+                "for (int p{a} = 0; p{a} < {len}; p{a} = p{a} + 1) {{ {name}[p{a}] = p{a} * {k1} + {k2}; }}"
+            ));
+            self.arrays.push((name, len));
+        }
+        // A guaranteed early checkpoint so the kill-and-resurrect mode
+        // usually has a base to resurrect from.
+        self.checkpoint_site();
+
+        let top_items = self.pick(6) + 3;
+        self.block(top_items, false);
+
+        // Semantic digest epilogue: fold every live scalar and array
+        // element into the exit value with wrapping arithmetic.
+        self.line("int h = 17;");
+        for s in ["va", "vb", "vc", "ckn"] {
+            self.line(&format!("h = mix(h, {s});"));
+        }
+        for (a, (name, len)) in self.arrays.clone().into_iter().enumerate() {
+            self.line(&format!(
+                "for (int e{a} = 0; e{a} < {len}; e{a} = e{a} + 1) {{ h = mix(h, {name}[e{a}]); }}"
+            ));
+        }
+        self.line("return h;");
+        self.indent -= 1;
+        self.line("}");
+    }
+}
+
+/// Render the decision tape into MojaveC source.  Pure: the same tape
+/// always yields byte-identical source.
+pub fn generate_program(tape: &[u32]) -> String {
+    let mut g = Gen::new(tape);
+    g.program();
+    g.src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let tape: Vec<u32> = (0..MAX_TAPE as u32)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
+        assert_eq!(generate_program(&tape), generate_program(&tape));
+    }
+
+    #[test]
+    fn empty_tape_is_the_minimal_program() {
+        let src = generate_program(&[]);
+        // All-zero choices: no helpers, one array, simple body.
+        assert!(src.contains("int main() {"));
+        assert!(src.contains("return h;"));
+        mojave_lang::compile_source(&src).expect("minimal program compiles");
+    }
+
+    #[test]
+    fn a_spread_of_tapes_compiles() {
+        for seed in 0u32..40 {
+            let tape: Vec<u32> = (0..MAX_TAPE as u32)
+                .map(|i| {
+                    (seed + 1)
+                        .wrapping_mul(2654435761)
+                        .wrapping_add(i.wrapping_mul(40503))
+                })
+                .collect();
+            let src = generate_program(&tape);
+            if let Err(e) = mojave_lang::compile_source(&src) {
+                panic!("seed {seed} failed to compile: {e}\n{src}");
+            }
+        }
+    }
+}

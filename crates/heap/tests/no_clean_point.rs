@@ -1,0 +1,102 @@
+//! Direct coverage of the `HeapError::NoCleanPoint` contract.
+//!
+//! Delta encoding is only meaningful relative to a clean point
+//! ([`Heap::mark_clean`]).  Without one the two encode surfaces react
+//! differently, and both reactions are deliberate:
+//!
+//! * [`HeapSnapshot::encode_delta_image`] (and its compressed twin)
+//!   returns `Err(HeapError::NoCleanPoint)` — the async pipeline worker
+//!   consuming the snapshot must fail that delivery precisely, not die;
+//! * [`Heap::encode_delta_image`] panics — on the synchronous path the
+//!   caller owns the heap and asking for a delta without a base is a
+//!   programming error, not a runtime condition.
+
+use mojave_heap::{Heap, HeapConfig, HeapError, Word};
+use mojave_wire::{CodecSet, WireReader, WireWriter};
+
+#[test]
+fn snapshot_without_clean_point_refuses_delta_encoding() {
+    let mut heap = Heap::new();
+    heap.alloc_array(4, Word::Int(7)).unwrap();
+    let snap = heap.freeze();
+
+    let mut w = WireWriter::new();
+    assert_eq!(
+        snap.encode_delta_image(&mut w),
+        Err(HeapError::NoCleanPoint)
+    );
+    assert_eq!(
+        snap.encode_delta_image_compressed(&mut w, CodecSet::all()),
+        Err(HeapError::NoCleanPoint)
+    );
+    // Neither failed attempt may leave partial output behind.
+    assert!(w.into_bytes().is_empty());
+}
+
+#[test]
+fn no_clean_point_display_names_the_missing_call() {
+    // The pipeline surfaces this text verbatim in delivery failures, so
+    // it must point the operator at the fix.
+    let msg = HeapError::NoCleanPoint.to_string();
+    assert_eq!(
+        msg,
+        "delta encode requested but no clean point was established (mark_clean)"
+    );
+}
+
+#[test]
+fn snapshot_after_mark_clean_encodes_deltas() {
+    let mut heap = Heap::new();
+    let arr = heap.alloc_array(4, Word::Int(0)).unwrap();
+    heap.mark_clean();
+    heap.store(arr, 2, Word::Int(41)).unwrap();
+    let snap = heap.freeze();
+
+    let mut batched = WireWriter::new();
+    snap.encode_delta_image(&mut batched).unwrap();
+    assert!(!batched.into_bytes().is_empty());
+
+    let mut slab = WireWriter::new();
+    snap.encode_delta_image_compressed(&mut slab, CodecSet::all())
+        .unwrap();
+    assert!(!slab.into_bytes().is_empty());
+}
+
+#[test]
+#[should_panic(expected = "mark_clean")]
+fn live_heap_delta_encode_without_clean_point_panics() {
+    let mut heap = Heap::new();
+    heap.alloc_array(4, Word::Int(7)).unwrap();
+    let mut w = WireWriter::new();
+    heap.encode_delta_image(&mut w);
+}
+
+#[test]
+#[should_panic(expected = "mark_clean")]
+fn live_heap_compressed_delta_encode_without_clean_point_panics() {
+    let mut heap = Heap::new();
+    heap.alloc_array(4, Word::Int(7)).unwrap();
+    let mut w = WireWriter::new();
+    heap.encode_delta_image_compressed(&mut w, CodecSet::all());
+}
+
+#[test]
+fn decoded_heaps_start_without_a_clean_point() {
+    // Dirty tracking is runtime state, not wire state: a resurrected heap
+    // must re-establish its own clean point before taking deltas, because
+    // the resurrecting node holds no base image.
+    let mut heap = Heap::new();
+    heap.alloc_array(4, Word::Int(7)).unwrap();
+    heap.mark_clean();
+    assert!(heap.dirty_tracking_armed());
+
+    let mut w = WireWriter::new();
+    heap.encode_image_compressed(&mut w, CodecSet::all());
+    let bytes = w.into_bytes();
+
+    let mut decoded =
+        Heap::decode_image_compressed(&mut WireReader::new(&bytes), HeapConfig::default()).unwrap();
+    assert!(!decoded.dirty_tracking_armed());
+    decoded.mark_clean();
+    assert!(decoded.dirty_tracking_armed());
+}
