@@ -1,0 +1,116 @@
+//! Socket-transport throughput: wire-v5 images delivered over real
+//! loopback TCP connections to a [`ClusterServer`] hub.
+//!
+//! Two shapes:
+//!   * one `RemoteCluster` connection delivering images back-to-back
+//!     (the per-peer queue drain path), across heap sizes;
+//!   * eight peer connections delivering concurrently (the aggregate the
+//!     hub's one-thread-per-connection accept loop must sustain).
+//!
+//! Checkpoint deliveries all target the same name — the store is
+//! idempotent by name, so memory stays bounded while the measurement
+//! covers framing, the socket round trip, hub-side image decode and the
+//! store write.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mojave_bench::process_with_heap;
+use mojave_cluster::{Cluster, ClusterConfig, ClusterServer, RemoteCluster};
+use mojave_core::DeliveryOutcome;
+use mojave_fir::MigrateProtocol;
+use mojave_heap::Word;
+use mojave_wire::CodecSet;
+use std::thread;
+use std::time::Duration;
+
+const PEERS: usize = 8;
+/// Images each peer delivers per measured iteration of the aggregate bench.
+const IMAGES_PER_PEER: u64 = 16;
+
+/// A packed wire-v5 image of roughly `heap_bytes` of live heap, as the
+/// bytes a node process would put on the socket.
+fn image_bytes(heap_bytes: usize) -> Vec<u8> {
+    let (mut process, roots) = process_with_heap(heap_bytes, true);
+    process
+        .pack(0, Word::Fun(0), &roots)
+        .expect("pack image")
+        .to_bytes()
+}
+
+fn served(nodes: usize) -> (ClusterServer, String) {
+    let server =
+        ClusterServer::bind(Cluster::new(ClusterConfig::new(nodes)), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn deliver(remote: &RemoteCluster, target: &str, bytes: &[u8]) {
+    match remote.deliver(MigrateProtocol::Checkpoint, target, bytes) {
+        Ok(DeliveryOutcome::Stored) => {}
+        other => panic!("delivery failed: {other:?}"),
+    }
+}
+
+/// Sustained images/second on a single connection, by image size.
+fn single_connection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport/single_connection");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for kb in [64usize, 256, 1024] {
+        let bytes = image_bytes(kb * 1024);
+        let (_server, addr) = served(1);
+        let remote = RemoteCluster::connect(&addr, 0, CodecSet::all()).expect("connect");
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KiB")),
+            &bytes,
+            |b, bytes| b.iter(|| deliver(&remote, "bench-ck", bytes)),
+        );
+        remote.bye();
+    }
+    group.finish();
+}
+
+/// Aggregate delivery rate with eight peers pushing concurrently, each on
+/// its own connection (its own hub handler thread), like eight node
+/// processes checkpointing at once.
+fn aggregate_peers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport/aggregate_8_peers");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let bytes = image_bytes(256 * 1024);
+    let (_server, addr) = served(PEERS);
+    let remotes: Vec<RemoteCluster> = (0..PEERS)
+        .map(|node| RemoteCluster::connect(&addr, node as u32, CodecSet::all()).expect("connect"))
+        .collect();
+    group.throughput(Throughput::Elements(PEERS as u64 * IMAGES_PER_PEER));
+    group.bench_function("images", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = remotes
+                .iter()
+                .enumerate()
+                .map(|(peer, remote)| {
+                    let remote = remote.clone();
+                    let bytes = bytes.clone();
+                    thread::spawn(move || {
+                        let target = format!("bench-ck-{peer}");
+                        for _ in 0..IMAGES_PER_PEER {
+                            deliver(&remote, &target, &bytes);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("peer thread");
+            }
+        })
+    });
+    for remote in remotes {
+        remote.bye();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_connection, aggregate_peers);
+criterion_main!(benches);

@@ -142,7 +142,11 @@ pub enum RecvOutcome {
     /// The sender is marked failed — the receiver should roll back
     /// (`MSG_ROLL` in Figure 2).
     PeerFailed,
-    /// Nothing arrived within the timeout.
+    /// Nothing arrived within the timeout.  **Wall-clock mode only**: in
+    /// deterministic simulation mode a stalled receive is a genuine
+    /// deadlock and [`Cluster::recv`] panics with a diagnostic naming the
+    /// stalled `(to, from, tag)` edge instead of returning a
+    /// scheduling-dependent value the program could act on.
     Timeout,
 }
 
@@ -455,6 +459,22 @@ impl Cluster {
             }
             let now = Instant::now();
             if now >= deadline {
+                // Wall-clock mode: a timeout is a normal backpressure
+                // signal the program reacts to with MSG_ROLL.  In
+                // deterministic mode it must never become a value the
+                // program can act on — a scheduling-dependent Timeout
+                // leaking into a replay silently breaks bit-identical
+                // digests on a loaded machine.  Hitting the safety net
+                // there means a genuine deadlock, so fail loudly, naming
+                // the stalled edge.
+                if deterministic {
+                    panic!(
+                        "deterministic cluster deadlock: recv(to={to}, from={from}, tag={tag}) \
+                         stalled for {:?} (the wall-clock safety net); no payload was ever sent \
+                         on this edge and the sender never failed",
+                        self.inner.config.recv_timeout
+                    );
+                }
                 return RecvOutcome::Timeout;
             }
             // Chunked waits guard against any lost-wakeup bug turning into
@@ -766,6 +786,24 @@ mod tests {
         assert!(cluster.is_failed(0));
     }
 
+    /// A `recv` that is expected to hit the deterministic deadlock safety
+    /// net: asserts it panics (loudly, naming the edge) instead of
+    /// returning a `Timeout` the program could act on.
+    fn assert_deterministic_deadlock(cluster: &Cluster, to: usize, from: usize, tag: i64) {
+        let c = cluster.clone();
+        let panic_payload =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || c.recv(to, from, tag)))
+                .expect_err("deterministic recv must panic on the deadlock safety net");
+        let message = panic_payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains(&format!("recv(to={to}, from={from}, tag={tag})")),
+            "diagnostic must name the stalled edge: {message}"
+        );
+    }
+
     #[test]
     fn deterministic_recv_reports_each_failure_epoch_once() {
         let mut config = ClusterConfig::deterministic(2, 7);
@@ -774,9 +812,10 @@ mod tests {
         cluster.fail_node(0);
         // First observation of the failure: MSG_ROLL.
         assert_eq!(cluster.recv(1, 0, 7), RecvOutcome::PeerFailed);
-        // Re-read after the rollback: blocks (here: safety timeout) rather
-        // than spinning out more scheduling-dependent MSG_ROLLs.
-        assert_eq!(cluster.recv(1, 0, 7), RecvOutcome::Timeout);
+        // Re-read after the rollback: blocks; hitting the wall-clock
+        // safety net is a loud deadlock diagnostic, never a Timeout the
+        // replay could act on.
+        assert_deterministic_deadlock(&cluster, 1, 0, 7);
         // A revival plus re-send delivers the data to the blocked reader —
         // the roll for this failure was already observed, so no second
         // MSG_ROLL, on this tag or any other tag the resurrected sender
@@ -789,7 +828,7 @@ mod tests {
         // A *second* failure is a new epoch: reported once again.
         cluster.fail_node(0);
         assert_eq!(cluster.recv(1, 0, 8), RecvOutcome::PeerFailed);
-        assert_eq!(cluster.recv(1, 0, 8), RecvOutcome::Timeout);
+        assert_deterministic_deadlock(&cluster, 1, 0, 8);
     }
 
     #[test]

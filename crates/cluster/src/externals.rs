@@ -123,21 +123,10 @@ impl Externals for ClusterExternals {
                         }
                         Ok(Word::Int(MSG_OK))
                     }
-                    // Deterministic mode has no receive timeouts: hitting
-                    // the wall-clock safety net means a genuine deadlock,
-                    // and must fail loudly rather than feed a
-                    // scheduling-dependent MSG_ROLL into a replay.
-                    RecvOutcome::Timeout if self.cluster.is_deterministic() => {
-                        Err(RuntimeError::ExternError {
-                            name: "msg_recv".into(),
-                            message: format!(
-                                "deterministic recv(from={src}, tag={tag}) on node {} hit the \
-                                 {:?} deadlock safety net",
-                                self.node,
-                                self.cluster.recv_timeout()
-                            ),
-                        })
-                    }
+                    // Deterministic mode has no receive timeouts:
+                    // `Cluster::recv` panics with a deadlock diagnostic
+                    // before ever returning `Timeout` there, so a `Timeout`
+                    // here is always a genuine wall-clock expiry.
                     RecvOutcome::PeerFailed | RecvOutcome::Timeout => Ok(Word::Int(MSG_ROLL)),
                 }
             }

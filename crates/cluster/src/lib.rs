@@ -52,9 +52,13 @@ mod costmodel;
 mod externals;
 mod network;
 mod sink;
+mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, MigrationDaemon, NodeStatus, RecvOutcome};
 pub use costmodel::CostModel;
 pub use externals::ClusterExternals;
 pub use network::NetworkModel;
 pub use sink::ClusterSink;
+pub use transport::{
+    ClusterServer, JobSpec, NodeStats, RemoteCluster, RemoteExternals, RemoteSink,
+};

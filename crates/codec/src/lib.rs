@@ -156,6 +156,21 @@ impl CodecSet {
     pub fn iter(self) -> impl Iterator<Item = CodecId> {
         CodecId::ALL.into_iter().filter(move |c| self.contains(*c))
     }
+
+    /// The raw membership bitmask (bit `1 << id` per member codec) — the
+    /// wire representation used by transport handshakes.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild a set from a wire bitmask, dropping bits that name no
+    /// known codec and restoring the ever-present [`CodecId::Raw`]
+    /// fallback.  Total on purpose: a peer advertising garbage bits
+    /// degrades to the codecs both sides actually share, it does not
+    /// error.
+    pub fn from_bits(bits: u8) -> CodecSet {
+        CodecSet((bits & CodecSet::all().0) | (1 << (CodecId::Raw as u8)))
+    }
 }
 
 impl Default for CodecSet {

@@ -538,6 +538,15 @@ pub enum DeliveryOutcome {
     Migrated,
     /// The image was durably stored (checkpoint/suspend file written).
     Stored,
+    /// The checkpoint was **coalesced away by a newer one** before it was
+    /// ever encoded (the `CoalesceLatest` backpressure policy).  Not a
+    /// failure: the sink is healthy and a strictly newer checkpoint of the
+    /// same process covers this one's state.  Distinguishing this from
+    /// [`DeliveryOutcome::Failed`] matters to async-delta fallback logic —
+    /// a real sink error means the delta chain may be broken and full
+    /// images are the safe response, while a superseded delta calls for no
+    /// fallback at all.
+    Superseded,
     /// Delivery failed; the process continues on the source machine
     /// (paper: "if migration fails for any reason, the process will continue
     /// to execute on the original machine").

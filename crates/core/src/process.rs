@@ -606,6 +606,16 @@ impl Process {
                             fun = f;
                             args = a;
                         }
+                        (MigrateProtocol::Checkpoint, DeliveryOutcome::Superseded) => {
+                            // Coalesced away by a newer checkpoint under
+                            // backpressure: not a failure, and not a reason
+                            // to fall back to full images — the sink is
+                            // healthy and a strictly newer checkpoint
+                            // covers this state.  The delta base and chain
+                            // position stay exactly as they were.
+                            fun = f;
+                            args = a;
+                        }
                         (_, DeliveryOutcome::Failed(_)) => {
                             // The process is indifferent to failed migration:
                             // it continues on the source machine.

@@ -4,7 +4,9 @@
 use crate::reference::reference_checksums;
 use crate::source::worker_source;
 use crate::GridConfig;
-use mojave_cluster::{Cluster, ClusterConfig, ClusterExternals, ClusterSink};
+use mojave_cluster::{
+    Cluster, ClusterConfig, ClusterExternals, ClusterServer, ClusterSink, JobSpec,
+};
 use mojave_core::{MigrationSink, Process, ProcessConfig, ProcessStats, RunOutcome, RuntimeError};
 use mojave_runtime::{AsyncSink, PipelineConfig};
 use mojave_wire::CodecId;
@@ -189,6 +191,10 @@ pub enum GridError {
         /// The victim worker.
         worker: usize,
     },
+    /// The socket-transport harness failed outside any one worker's
+    /// runtime: a node process could not be spawned, died without
+    /// reporting, or reported a non-runtime failure.
+    Transport(String),
 }
 
 impl fmt::Display for GridError {
@@ -202,6 +208,7 @@ impl fmt::Display for GridError {
             GridError::NoCheckpoint { worker } => {
                 write!(f, "worker {worker} failed before writing any checkpoint")
             }
+            GridError::Transport(message) => write!(f, "transport harness failed: {message}"),
         }
     }
 }
@@ -426,6 +433,142 @@ pub fn run_grid_deterministic_with_codec(
             ..GridOptions::default()
         },
     )
+}
+
+/// Run the grid computation across **real node processes** over the
+/// socket transport: the caller binds a [`ClusterServer`] (owning the
+/// deterministic or wall-clock cluster) and supplies a closure that
+/// spawns one OS process per worker — normally `mcc node <addr> <id>`.
+///
+/// The server hands every node the same job (worker source + options),
+/// collects per-node statistics frames, and resurrects a failed victim by
+/// arming its latest checkpoint as a resume image and respawning it.  The
+/// [`GridReport`] is assembled from exactly the same hub-side state the
+/// in-process [`run_grid_with`] uses, so for a deterministic cluster the
+/// [`GridReport::replay_digest`] matches the in-process run's — that is
+/// the transport's correctness oracle.
+pub fn run_grid_served(
+    server: &ClusterServer,
+    config: &GridConfig,
+    failure: Option<FailurePlan>,
+    options: GridOptions,
+    mut spawn: impl FnMut(usize) -> std::io::Result<std::process::Child>,
+) -> Result<GridReport, GridError> {
+    let cluster = server.cluster();
+    if cluster.num_nodes() != config.workers {
+        return Err(GridError::Transport(format!(
+            "cluster has {} nodes but the grid wants {} workers",
+            cluster.num_nodes(),
+            config.workers
+        )));
+    }
+    server.set_job(JobSpec {
+        source: worker_source(config),
+        step_budget: Some(500_000_000),
+        delta_checkpoints: true,
+        heap_codec: options.heap_codec.map(|c| c as u8),
+        async_checkpoints: options.async_checkpoints,
+    });
+    if let Some(plan) = failure {
+        if cluster.is_deterministic() {
+            cluster.schedule_failure(plan.victim, plan.after_checkpoints as u64);
+        }
+    }
+
+    let start = Instant::now();
+    let mut children = Vec::new();
+    for worker in 0..config.workers {
+        children.push(
+            spawn(worker)
+                .map_err(|e| GridError::Transport(format!("cannot spawn node {worker}: {e}")))?,
+        );
+    }
+    if let Some(plan) = failure {
+        if !cluster.is_deterministic() {
+            cluster.wait_for_node_checkpoints(
+                plan.victim,
+                plan.after_checkpoints as u64,
+                Duration::from_secs(60),
+            );
+            cluster.fail_node(plan.victim);
+        }
+    }
+
+    let mut checksums = vec![f64::NAN; config.workers];
+    let mut rollbacks = 0u64;
+    let mut checkpoints = 0u64;
+    let mut delta_checkpoints = 0u64;
+    let mut speculations = 0u64;
+    let mut checkpoint_pause_ns = 0u64;
+    let mut checkpoint_encode_ns = 0u64;
+    let mut finished = 0usize;
+    let mut recovered = false;
+
+    while finished < config.workers {
+        let stats = server.next_stats(Duration::from_secs(120)).ok_or_else(|| {
+            GridError::Transport("node processes did not report within the deadline".into())
+        })?;
+        let worker = stats.node as usize;
+        rollbacks += stats.rollbacks;
+        checkpoints += stats.checkpoints;
+        delta_checkpoints += stats.delta_checkpoints;
+        speculations += stats.speculations;
+        checkpoint_pause_ns += stats.checkpoint_pause_ns;
+        checkpoint_encode_ns += stats.checkpoint_encode_ns;
+        match stats.exit_code {
+            Some(code) => {
+                checksums[worker] = code as f64 / 100.0;
+                finished += 1;
+            }
+            None => {
+                let message = stats.error.unwrap_or_else(|| "no error reported".into());
+                let injected =
+                    failure.map(|p| p.victim) == Some(worker) && cluster.is_failed(worker);
+                if injected {
+                    // The resurrection daemon, process edition: arm the
+                    // latest checkpoint as the node's resume image and
+                    // respawn it.
+                    let (name, _step) = latest_checkpoint(&cluster, worker)
+                        .ok_or(GridError::NoCheckpoint { worker })?;
+                    let image = cluster
+                        .store()
+                        .load(&name)
+                        .map_err(|error| GridError::Worker { worker, error })?;
+                    cluster.revive_node(worker);
+                    server.set_resume(worker as u32, image.to_bytes());
+                    children.push(spawn(worker).map_err(|e| {
+                        GridError::Transport(format!("cannot respawn node {worker}: {e}"))
+                    })?);
+                    recovered = true;
+                } else {
+                    return Err(GridError::Transport(format!(
+                        "worker {worker} failed: {message}"
+                    )));
+                }
+            }
+        }
+    }
+    for mut child in children {
+        let _ = child.wait();
+    }
+
+    let store_stats = cluster.store().stats();
+    Ok(GridReport {
+        worker_checksums: checksums,
+        reference_checksums: reference_checksums(config),
+        recovered_from_failure: recovered,
+        rollbacks,
+        checkpoints,
+        delta_checkpoints,
+        speculations,
+        wall_time: start.elapsed(),
+        network_bytes: cluster.bytes_transferred(),
+        network_messages: cluster.messages_sent(),
+        checkpoint_raw_bytes: store_stats.raw_bytes,
+        checkpoint_stored_bytes: store_stats.stored_bytes,
+        checkpoint_pause_ns,
+        checkpoint_encode_ns,
+    })
 }
 
 fn run_grid_on(

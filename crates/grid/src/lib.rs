@@ -48,8 +48,8 @@ pub mod reference;
 pub mod source;
 
 pub use coordinator::{
-    run_grid, run_grid_deterministic, run_grid_deterministic_with_codec, run_grid_with,
-    FailurePlan, GridError, GridOptions, GridReport,
+    run_grid, run_grid_deterministic, run_grid_deterministic_with_codec, run_grid_served,
+    run_grid_with, FailurePlan, GridError, GridOptions, GridReport,
 };
 pub use reference::reference_checksums;
 pub use source::worker_source;

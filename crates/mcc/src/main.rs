@@ -8,15 +8,20 @@
 //!   (checkpoints are "formatted as executable files"; this is the
 //!   executor).
 //! * `mcc inspect <checkpoint.img>` — describe a checkpoint/migration image.
+//! * `mcc node <addr> <node-id>` — join a `ClusterServer` over TCP as one
+//!   node process: handshake, fetch the job, run the worker with remote
+//!   externals + sink, report stats (the multi-process cluster harness).
 //!
 //! Programs run with the standard externals; checkpoints and suspends are
 //! written as `<name>.img` files in the current directory so they can be
 //! resumed later with `mcc resume`.
 
+use mojave_cluster::{NodeStats, RemoteCluster, RemoteExternals, RemoteSink};
 use mojave_core::{
     BackendKind, DeliveryOutcome, MigrationImage, MigrationSink, Process, ProcessConfig, RunOutcome,
 };
 use mojave_fir::MigrateProtocol;
+use mojave_runtime::{AsyncSink, PipelineConfig};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -62,7 +67,121 @@ fn usage() -> ExitCode {
     eprintln!("  mcc run <file.mj> [--interp] [--steps N]");
     eprintln!("  mcc resume <image.img> [--interp]");
     eprintln!("  mcc inspect <image.img>");
+    eprintln!("  mcc node <addr> <node-id>");
     ExitCode::from(2)
+}
+
+/// `mcc node <addr> <node-id>`: the node-process half of the socket
+/// transport.  Dials the cluster server, fetches the job, runs the worker
+/// with [`RemoteExternals`] and a [`RemoteSink`] (wrapped in the
+/// asynchronous checkpoint pipeline when the job asks for it), and
+/// reports final statistics before the orderly goodbye.
+fn serve_node(addr: &str, node: u32) -> ExitCode {
+    let codecs = mojave_wire::CodecSet::all();
+    // Two connections on purpose: checkpoint deliveries (which may run on
+    // a pipeline worker thread) must not queue behind a blocking
+    // `msg_recv` RPC on the externals connection.
+    let control = match RemoteCluster::connect(addr, node, codecs) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("mcc: node {node} cannot join cluster at {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report_failure = |message: String| {
+        eprintln!("mcc: node {node}: {message}");
+        let report = NodeStats {
+            node,
+            error: Some(message),
+            ..NodeStats::default()
+        };
+        if control.report_stats(&report).is_err() {
+            return ExitCode::FAILURE;
+        }
+        control.bye();
+        ExitCode::SUCCESS
+    };
+    let welcome = control.welcome().clone();
+    let (job, resume) = match control.fetch_job() {
+        Ok(job) => job,
+        Err(e) => return report_failure(format!("cannot fetch job: {e}")),
+    };
+    let config = ProcessConfig {
+        machine: mojave_core::Machine::new(welcome.arch.clone()),
+        step_budget: job.step_budget,
+        delta_checkpoints: job.delta_checkpoints,
+        heap_codec: job.heap_codec.and_then(mojave_wire::CodecId::from_u8),
+        async_checkpoints: job.async_checkpoints,
+        ..ProcessConfig::default()
+    };
+    let sink_conn = match RemoteCluster::connect(addr, node, codecs) {
+        Ok(conn) => conn,
+        Err(e) => return report_failure(format!("cannot open sink connection: {e}")),
+    };
+    let sink: Box<dyn MigrationSink> = {
+        let inner = Box::new(RemoteSink::new(sink_conn.clone()));
+        if job.async_checkpoints {
+            // The deterministic drain barrier, exactly as the in-process
+            // coordinator configures it: replay digests must not depend on
+            // whether checkpoints ride the pipeline.
+            Box::new(AsyncSink::new(
+                inner,
+                PipelineConfig {
+                    drain_after_submit: welcome.deterministic,
+                    ..PipelineConfig::default()
+                },
+            ))
+        } else {
+            inner
+        }
+    };
+    // A resume image (the resurrection path) replaces compilation: the
+    // checkpoint carries its own code.
+    let built = match resume {
+        Some(bytes) => MigrationImage::from_bytes(&bytes)
+            .map_err(|e| format!("bad resume image: {e}"))
+            .and_then(|image| {
+                Process::from_image(image, config).map_err(|e| format!("resume failed: {e}"))
+            }),
+        None => mojave_lang::compile_source(&job.source)
+            .map_err(|e| format!("job source failed to compile: {e}"))
+            .and_then(|program| {
+                Process::new(program, config).map_err(|e| format!("process setup failed: {e}"))
+            }),
+    };
+    let mut process = match built {
+        Ok(p) => p
+            .with_externals(Box::new(RemoteExternals::new(control.clone())))
+            .with_sink(sink),
+        Err(message) => return report_failure(message),
+    };
+    let outcome = process.run();
+    let stats = process.stats();
+    let mut report = NodeStats {
+        node,
+        rollbacks: stats.rollbacks,
+        checkpoints: stats.checkpoints,
+        delta_checkpoints: stats.delta_checkpoints,
+        speculations: stats.speculations,
+        checkpoint_pause_ns: stats.checkpoint_pause_ns,
+        checkpoint_encode_ns: stats.checkpoint_encode_ns,
+        ..NodeStats::default()
+    };
+    match outcome {
+        Ok(RunOutcome::Exit(code)) => report.exit_code = Some(code),
+        Ok(other) => report.error = Some(format!("unexpected outcome: {other:?}")),
+        Err(e) => report.error = Some(e.to_string()),
+    }
+    // `Process::run` flushed the sink, so every accepted checkpoint is
+    // already delivered; the stats report is the last word.
+    drop(process);
+    if let Err(e) = control.report_stats(&report) {
+        eprintln!("mcc: node {node} could not report stats: {e}");
+        return ExitCode::FAILURE;
+    }
+    sink_conn.bye();
+    control.bye();
+    ExitCode::SUCCESS
 }
 
 fn read_source(path: &str) -> Result<String, String> {
@@ -230,6 +349,13 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "node" => {
+            let (Some(addr), Some(node)) = (args.get(1), args.get(2).and_then(|s| s.parse().ok()))
+            else {
+                return usage();
+            };
+            serve_node(addr, node)
         }
         _ => usage(),
     }

@@ -1,0 +1,124 @@
+//! The multi-process cluster harness, end to end: a [`ClusterServer`] on
+//! loopback TCP, three real `mcc node` OS processes, and the in-process
+//! deterministic simulation as the oracle.  The transport's correctness
+//! claim is digest parity — every wire-v5 image genuinely crossed a
+//! socket, and the run is still bit-identical to the single-process sim.
+
+use mojave_cluster::{Cluster, ClusterConfig, ClusterServer};
+use mojave_grid::{
+    run_grid_deterministic, run_grid_served, run_grid_with, FailurePlan, GridConfig, GridOptions,
+};
+use mojave_wire::CodecSet;
+use std::process::{Child, Command, Stdio};
+
+fn spawn_node(addr: &str, node: usize) -> std::io::Result<Child> {
+    Command::new(env!("CARGO_BIN_EXE_mcc"))
+        .arg("node")
+        .arg(addr)
+        .arg(node.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+}
+
+fn small_grid(workers: usize) -> GridConfig {
+    GridConfig {
+        workers,
+        rows_per_worker: 3,
+        cols: 6,
+        timesteps: 6,
+        checkpoint_interval: 2,
+    }
+}
+
+#[test]
+fn three_process_loopback_run_matches_in_process_digest() {
+    let config = small_grid(3);
+    let seed = 0x10C4_13AC;
+
+    let cluster = Cluster::new(ClusterConfig::deterministic(config.workers, seed));
+    let server = ClusterServer::bind(cluster, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let served = run_grid_served(&server, &config, None, GridOptions::default(), |node| {
+        spawn_node(&addr, node)
+    })
+    .expect("served run succeeds");
+    assert!(served.is_correct(), "max error {}", served.max_error());
+
+    // All four codecs negotiated on every node's connection.
+    let negotiated = server.negotiated_codecs();
+    assert_eq!(negotiated.len(), config.workers);
+    for (node, codecs) in &negotiated {
+        assert_eq!(
+            *codecs,
+            CodecSet::all(),
+            "node {node} should negotiate the full codec set"
+        );
+    }
+    // And the negotiation produced genuinely compressed images over the
+    // socket: the store kept fewer bytes than the raw frames.
+    assert!(served.checkpoint_stored_bytes < served.checkpoint_raw_bytes);
+
+    // The oracle: the same configuration and seed, one process, no
+    // sockets.  The transport must be logically invisible.
+    let in_process = run_grid_deterministic(&config, None, seed).expect("in-process run");
+    assert_eq!(served.replay_digest(), in_process.replay_digest());
+}
+
+#[test]
+fn loopback_failure_injection_resurrects_across_processes() {
+    let config = small_grid(3);
+    let seed = 0xFA11_0E45;
+    let failure = Some(FailurePlan {
+        victim: 1,
+        after_checkpoints: 1,
+    });
+
+    let cluster = Cluster::new(ClusterConfig::deterministic(config.workers, seed));
+    let server = ClusterServer::bind(cluster, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let served = run_grid_served(&server, &config, failure, GridOptions::default(), |node| {
+        spawn_node(&addr, node)
+    })
+    .expect("served run recovers");
+    assert!(served.is_correct(), "max error {}", served.max_error());
+    assert!(served.recovered_from_failure);
+
+    let in_process = run_grid_deterministic(&config, failure, seed).expect("in-process run");
+    assert_eq!(served.replay_digest(), in_process.replay_digest());
+}
+
+#[test]
+fn loopback_async_pipeline_reuses_backpressure_and_keeps_the_digest() {
+    // The node processes route checkpoints through the asynchronous
+    // pipeline (`AsyncSink` over `RemoteSink` — the per-peer send queue),
+    // with the deterministic drain barrier.  The digest must match both
+    // the in-process async run and, transitively, the synchronous one.
+    let config = small_grid(3);
+    let seed = 0xA57_0C4;
+    let options = GridOptions {
+        async_checkpoints: true,
+        ..GridOptions::default()
+    };
+
+    let cluster = Cluster::new(ClusterConfig::deterministic(config.workers, seed));
+    let server = ClusterServer::bind(cluster, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let served = run_grid_served(&server, &config, None, options, |node| {
+        spawn_node(&addr, node)
+    })
+    .expect("served async run succeeds");
+    assert!(served.is_correct(), "max error {}", served.max_error());
+
+    let in_process = run_grid_with(
+        &config,
+        None,
+        GridOptions {
+            seed: Some(seed),
+            async_checkpoints: true,
+            ..GridOptions::default()
+        },
+    )
+    .expect("in-process async run");
+    assert_eq!(served.replay_digest(), in_process.replay_digest());
+}

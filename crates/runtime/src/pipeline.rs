@@ -186,9 +186,11 @@ impl CheckpointPipeline {
                 && state.queue.back().is_some_and(|old| old.pack.is_delta())
             {
                 let superseded = state.queue.pop_back().expect("checked non-empty");
-                let _ = superseded.outcome.set(DeliveryOutcome::Failed(
-                    "coalesced away by a newer checkpoint".into(),
-                ));
+                // Not a failure: the incoming checkpoint strictly covers
+                // the dropped delta's state, and the sink never saw it.
+                // Waiters distinguish this from a sink error, which would
+                // call for a full-image fallback.
+                let _ = superseded.outcome.set(DeliveryOutcome::Superseded);
                 state.stats.coalesced += 1;
                 state
                     .queue

@@ -278,14 +278,24 @@ fn coalesce_latest_drops_only_superseded_deltas() {
     assert!(stats.coalesced > 0, "slow sink must force coalescing");
     assert_eq!(stats.completed + stats.coalesced, 7);
     // The full survived; the newest delta survived; coalesced deltas were
-    // marked failed in their outcome slots without ever hitting the store.
+    // marked `Superseded` in their outcome slots without ever hitting the
+    // store — distinct from `Failed`, so waiters never mistake healthy
+    // backpressure for a sink error (which would force full-image
+    // fallbacks).
     assert!(store.contains("full-0"));
     assert!(store.contains("delta-5"), "newest delta always lands");
     let dropped = outcomes
         .iter()
-        .filter(|slot| matches!(slot.get(), Some(DeliveryOutcome::Failed(_))))
+        .filter(|slot| matches!(slot.get(), Some(DeliveryOutcome::Superseded)))
         .count();
     assert_eq!(dropped as u64, stats.coalesced);
+    assert!(
+        !outcomes
+            .iter()
+            .any(|slot| matches!(slot.get(), Some(DeliveryOutcome::Failed(_)))),
+        "coalescing must never surface as a delivery failure"
+    );
+    assert_eq!(stats.failed, 0);
 }
 
 #[test]

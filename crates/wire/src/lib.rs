@@ -51,11 +51,16 @@
 #![warn(missing_docs)]
 
 mod error;
+mod frame;
 mod reader;
 mod tags;
 mod writer;
 
 pub use error::WireError;
+pub use frame::{
+    decode_error, read_frame, send_error, write_frame, FrameError, FrameKind, Hello, Welcome,
+    MAX_FRAME_LEN, TRANSPORT_VERSION,
+};
 pub use reader::{FrameStats, ImageHeader, SectionReader, WireReader, MAX_REASONABLE_LEN};
 pub use tags::{SectionTag, BATCHED_VERSION, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION};
 pub use writer::{SectionWriter, WireWriter};

@@ -25,6 +25,20 @@ pub struct ImageHeader {
     pub source_arch: String,
 }
 
+/// Checked narrowing of a decoded 64-bit length to `usize`.
+///
+/// On 64-bit hosts this never fails, but on 32-bit targets a bare
+/// `as usize` cast would silently truncate any value above `u32::MAX` —
+/// turning an adversarial 2³²+k length prefix into an innocuous-looking
+/// small `k` that passes every later bounds check.  Every length that
+/// crosses from wire `u64` to host `usize` goes through here.
+fn checked_usize(value: u64, context: &'static str) -> Result<usize, WireError> {
+    usize::try_from(value).map_err(|_| WireError::LengthOverflow {
+        context,
+        len: value,
+    })
+}
+
 /// Cursor-style decoder over a byte slice.
 #[derive(Debug, Clone)]
 pub struct WireReader<'a> {
@@ -148,7 +162,7 @@ impl<'a> WireReader<'a> {
                 len,
             });
         }
-        Ok(len as usize)
+        checked_usize(len, "sequence")
     }
 
     /// Read a length-prefixed byte slice.
@@ -163,9 +177,21 @@ impl<'a> WireReader<'a> {
         std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
     }
 
-    /// Read a uvarint-encoded `usize`.
+    /// Read a uvarint-encoded `usize` (counts, capacities, jump targets).
+    ///
+    /// Bounded by [`MAX_REASONABLE_LEN`] like every other length-bearing
+    /// value, and narrowed with a **checked** conversion: no in-tree
+    /// encoder produces larger values, and on 32-bit targets an unchecked
+    /// cast would silently truncate instead of erroring.
     pub fn read_usize(&mut self) -> Result<usize, WireError> {
-        Ok(self.read_uvarint()? as usize)
+        let value = self.read_uvarint()?;
+        if value > MAX_REASONABLE_LEN {
+            return Err(WireError::LengthOverflow {
+                context: "usize value",
+                len: value,
+            });
+        }
+        checked_usize(value, "usize value")
     }
 
     /// Read and validate the standard image header written by
@@ -247,7 +273,7 @@ impl<'a> WireReader<'a> {
             context: "codec id",
             tag: byte as u64,
         })?;
-        Ok((declared as usize, codec))
+        Ok((checked_usize(declared, context)?, codec))
     }
 
     /// Read a compressed word-slab frame written by
@@ -585,6 +611,49 @@ mod tests {
             section.finish().unwrap_err(),
             WireError::TrailingBytes { .. }
         ));
+    }
+
+    #[test]
+    fn oversized_usize_errors_instead_of_truncating() {
+        // Regression: decoded lengths used to cross to `usize` with a bare
+        // `as` cast, which on 32-bit targets truncates anything above
+        // u32::MAX.  Every narrowing now goes through a checked
+        // conversion behind the MAX_REASONABLE_LEN bound, so a huge
+        // uvarint errors identically on every pointer width.
+        for huge in [MAX_REASONABLE_LEN + 1, u64::MAX] {
+            let mut w = WireWriter::new();
+            w.write_uvarint(huge);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            assert!(
+                matches!(
+                    r.read_usize().unwrap_err(),
+                    WireError::LengthOverflow { len, .. } if len == huge
+                ),
+                "usize {huge} must be rejected"
+            );
+            let mut r = WireReader::new(&bytes);
+            assert!(matches!(
+                r.read_len().unwrap_err(),
+                WireError::LengthOverflow { len, .. } if len == huge
+            ));
+        }
+        // The checked conversion itself reports the precise value.
+        #[cfg(target_pointer_width = "32")]
+        assert!(matches!(
+            super::checked_usize(u64::from(u32::MAX) + 1, "test"),
+            Err(WireError::LengthOverflow { .. })
+        ));
+        // The bound is inclusive: MAX_REASONABLE_LEN itself stays decodable
+        // where the host can represent it.
+        #[cfg(target_pointer_width = "64")]
+        {
+            let mut w = WireWriter::new();
+            w.write_uvarint(MAX_REASONABLE_LEN);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(r.read_usize().unwrap() as u64, MAX_REASONABLE_LEN);
+        }
     }
 
     #[test]
