@@ -1,0 +1,155 @@
+//! Observability overhead gates, asserted in-bench so the CI `obs` smoke
+//! leg (`cargo bench --bench obs -- overhead`) fails loudly on a
+//! regression:
+//!
+//! 1. **Disabled gate** — a process carrying a `Level::Off` recorder pays
+//!    ≤ 1 % over one with no recorder attached on the 1 MiB synchronous
+//!    checkpoint.  The two are the same machine code (every `record` is
+//!    one relaxed load and a branch), so this gate is really measuring
+//!    that nobody snuck unconditional work onto the disabled path.
+//! 2. **Enabled gate** — full `Level::Trace` recording pays ≤ 5 % on the
+//!    same checkpoint.  The checkpoint's recorder traffic is a handful of
+//!    events per image against a ~1 ms encode, so tracing must stay in
+//!    the noise floor.
+//!
+//! Both gates compare **minimum-of-interleaved-rounds**: each round times
+//! a batch of checkpoints for every variant back to back, and the gate
+//! takes each variant's best round.  Minima discard scheduler noise that
+//! medians still average in, and interleaving cancels thermal/cache drift
+//! between variants — the ratio is stable where absolute timing would
+//! flake on a shared runner.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mojave_bench::process_with_heap;
+use mojave_core::{DeliveryOutcome, InMemorySink, MigrationSink, Process};
+use mojave_fir::MigrateProtocol;
+use mojave_heap::Word;
+use mojave_obs::{EventKind, Level, Recorder};
+use std::time::{Duration, Instant};
+
+const HEAP_BYTES: usize = 1024 * 1024;
+
+/// One synchronous checkpoint with the same recorder traffic as the
+/// interpreter's checkpoint arm: begin/end markers always offered, the
+/// encode/codec/deliver detail gated behind `tracing()` exactly as in
+/// `Process::run`.
+fn checkpoint_once(
+    process: &mut Process,
+    roots: &[Word],
+    sink: &mut InMemorySink,
+    n: u32,
+) -> DeliveryOutcome {
+    let recorder = process.recorder().clone();
+    recorder.record(EventKind::CheckpointBegin, 0, 0);
+    let image = process.pack(0, Word::Fun(0), roots).expect("pack");
+    if recorder.tracing() {
+        let (raw, stored) = image.heap_payload_wire_stats();
+        recorder.record(EventKind::Encode, raw, stored);
+        recorder.record(EventKind::CodecChosen, 0xFF, stored);
+    }
+    let outcome = sink.deliver(MigrateProtocol::Checkpoint, &format!("ck-{n}"), &image);
+    recorder.record(EventKind::CheckpointEnd, 0, outcome.obs_code());
+    recorder.record(EventKind::Deliver, outcome.obs_code(), 0);
+    outcome
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    // The three variants under test.  `baseline` never touches the
+    // recorder API beyond `Process`'s built-in disabled default;
+    // `disabled` attaches a real recorder at `Level::Off`; `traced`
+    // records everything at `Level::Trace`.
+    let variants: [(&str, Option<Level>); 3] = [
+        ("baseline", None),
+        ("disabled", Some(Level::Off)),
+        ("traced", Some(Level::Trace)),
+    ];
+    let build = |level: Option<Level>| {
+        let (process, roots) = process_with_heap(HEAP_BYTES, false);
+        let process = match level {
+            Some(level) => process.with_recorder(Recorder::new(0, level)),
+            None => process,
+        };
+        (process, roots, InMemorySink::new())
+    };
+
+    let mut group = c.benchmark_group("obs/overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Bytes(HEAP_BYTES as u64));
+    for (name, level) in variants {
+        group.bench_function(format!("checkpoint_1MiB_{name}"), |b| {
+            let (mut process, roots, mut sink) = build(level);
+            let mut n = 0u32;
+            b.iter(|| {
+                n += 1;
+                checkpoint_once(&mut process, &roots, &mut sink, n)
+            });
+        });
+    }
+    group.finish();
+
+    // The gates cost real work (dozens of 1 MiB checkpoints), so they are
+    // skipped when a CLI filter excludes this group — mirroring the
+    // migration bench's pause gate.
+    let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+    if filter
+        .as_deref()
+        .is_some_and(|f| !"obs/overhead".contains(f))
+    {
+        return;
+    }
+
+    const ROUNDS: usize = 9;
+    const CHECKPOINTS_PER_ROUND: u32 = 8;
+    let mut states: Vec<_> = variants.iter().map(|&(_, level)| build(level)).collect();
+    let mut best = [u64::MAX; 3];
+    let mut n = 0u32;
+    for _ in 0..ROUNDS {
+        for (i, (process, roots, sink)) in states.iter_mut().enumerate() {
+            let start = Instant::now();
+            for _ in 0..CHECKPOINTS_PER_ROUND {
+                n += 1;
+                std::hint::black_box(checkpoint_once(process, roots, sink, n));
+            }
+            best[i] = best[i].min(start.elapsed().as_nanos() as u64);
+        }
+    }
+    let [baseline, disabled, traced] = best;
+    let pct = |t: u64| (t as f64 / baseline as f64 - 1.0) * 100.0;
+    eprintln!();
+    eprintln!(
+        "recorder overhead on the 1 MiB synchronous checkpoint \
+         (best of {ROUNDS} interleaved rounds x {CHECKPOINTS_PER_ROUND}):"
+    );
+    eprintln!(
+        "  no recorder {:>9.1} µs/ck   Level::Off {:>9.1} µs/ck ({:+.2} % — gate ≤ +1 %)   \
+         Level::Trace {:>9.1} µs/ck ({:+.2} % — gate ≤ +5 %)",
+        baseline as f64 / CHECKPOINTS_PER_ROUND as f64 / 1e3,
+        disabled as f64 / CHECKPOINTS_PER_ROUND as f64 / 1e3,
+        pct(disabled),
+        traced as f64 / CHECKPOINTS_PER_ROUND as f64 / 1e3,
+        pct(traced),
+    );
+    assert!(
+        disabled as f64 <= baseline as f64 * 1.01,
+        "disabled-recorder overhead gate: Level::Off checkpoint round {disabled} ns \
+         exceeds the no-recorder round {baseline} ns by more than 1%"
+    );
+    assert!(
+        traced as f64 <= baseline as f64 * 1.05,
+        "enabled-recorder overhead gate: Level::Trace checkpoint round {traced} ns \
+         exceeds the no-recorder round {baseline} ns by more than 5%"
+    );
+
+    // Sanity: the traced variant actually recorded — the gate must never
+    // pass because tracing silently stopped happening.
+    let traced_events = states[2].0.recorder().events();
+    assert!(
+        !traced_events.is_empty(),
+        "the traced variant recorded no events; the overhead gate is vacuous"
+    );
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

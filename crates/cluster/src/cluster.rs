@@ -613,6 +613,20 @@ impl Cluster {
             .fetch_add(nanos, Ordering::SeqCst);
     }
 
+    /// A [`mojave_obs::ClockSource`] for `node`'s flight recorder: the
+    /// seeded virtual clock in deterministic mode (reads never advance
+    /// it, so observing cannot perturb the run), wall time otherwise.
+    pub fn clock_source(&self, node: usize) -> std::sync::Arc<dyn mojave_obs::ClockSource> {
+        if self.is_deterministic() {
+            std::sync::Arc::new(VirtualClock {
+                cluster: self.clone(),
+                node,
+            })
+        } else {
+            std::sync::Arc::new(mojave_obs::WallClock::new())
+        }
+    }
+
     // ------------------------------------------------------------------
     // Traffic accounting
     // ------------------------------------------------------------------
@@ -668,6 +682,29 @@ fn sim_nanos(us: f64) -> u64 {
 }
 
 /// The migration server of paper §4.2.1: "a version of the compiler that will
+/// Adapter exposing one node's seeded virtual clock as a
+/// [`mojave_obs::ClockSource`].  Reading never advances the clock — only
+/// the node's own externals calls tick it — so flight-recorder
+/// timestamps are a pure function of the seed and cannot perturb replay.
+struct VirtualClock {
+    cluster: Cluster,
+    node: usize,
+}
+
+impl std::fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualClock")
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl mojave_obs::ClockSource for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.cluster.virtual_time_us(self.node)
+    }
+}
+
 /// listen for incoming migration requests, recompile any inbound processes on
 /// the new machine, and reconstruct their state before executing them."
 #[derive(Debug, Clone)]

@@ -26,6 +26,7 @@ pub struct ClusterExternals {
     cluster: Cluster,
     node: usize,
     inner: DefaultExternals,
+    recorder: mojave_obs::Recorder,
 }
 
 impl ClusterExternals {
@@ -36,7 +37,15 @@ impl ClusterExternals {
             cluster,
             node,
             inner: DefaultExternals::new(seed),
+            recorder: mojave_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attach a flight recorder (builder style): message send/receive and
+    /// failure events flow into it.
+    pub fn with_recorder(mut self, recorder: mojave_obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     fn killed(&self) -> RuntimeError {
@@ -70,6 +79,14 @@ impl ClusterExternals {
 impl Externals for ClusterExternals {
     fn call(&mut self, call: ExtCall<'_>, heap: &mut Heap) -> Result<Word, RuntimeError> {
         if self.cluster.is_failed(self.node) {
+            // The point where an externally injected failure (the
+            // coordinator's scheduled kill) becomes visible to this
+            // process — record it as observed (`b` = 1).
+            self.recorder.record(
+                mojave_obs::EventKind::Failure,
+                self.cluster.failure_epoch(self.node),
+                1,
+            );
             return Err(self.killed());
         }
         if self.cluster.is_deterministic() {
@@ -85,6 +102,11 @@ impl Externals for ClusterExternals {
             "num_nodes" => Ok(Word::Int(self.cluster.num_nodes() as i64)),
             "inject_failure" => {
                 self.cluster.fail_node(self.node);
+                self.recorder.record(
+                    mojave_obs::EventKind::Failure,
+                    self.cluster.failure_epoch(self.node),
+                    0,
+                );
                 Err(self.killed())
             }
             "msg_send" => {
@@ -102,7 +124,10 @@ impl Externals for ClusterExternals {
                         message: format!("destination node {dest} does not exist"),
                     });
                 }
+                let len = data.len() as u64;
                 self.cluster.send(self.node, dest as usize, tag, data);
+                self.recorder
+                    .record(mojave_obs::EventKind::Send, dest as u64, len);
                 Ok(Word::Int(MSG_OK))
             }
             "msg_recv" => {
@@ -121,13 +146,22 @@ impl Externals for ClusterExternals {
                         for (i, value) in data.iter().take(len).enumerate() {
                             heap.store(ptr, i as i64, Word::Float(*value))?;
                         }
+                        self.recorder.record(
+                            mojave_obs::EventKind::Recv,
+                            src as u64,
+                            data.len() as u64,
+                        );
                         Ok(Word::Int(MSG_OK))
                     }
                     // Deterministic mode has no receive timeouts:
                     // `Cluster::recv` panics with a deadlock diagnostic
                     // before ever returning `Timeout` there, so a `Timeout`
                     // here is always a genuine wall-clock expiry.
-                    RecvOutcome::PeerFailed | RecvOutcome::Timeout => Ok(Word::Int(MSG_ROLL)),
+                    RecvOutcome::PeerFailed | RecvOutcome::Timeout => {
+                        self.recorder
+                            .record(mojave_obs::EventKind::Recv, src as u64, u64::MAX);
+                        Ok(Word::Int(MSG_ROLL))
+                    }
                 }
             }
             _ => self.inner.call(call, heap),

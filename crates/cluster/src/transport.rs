@@ -45,10 +45,11 @@ use mojave_core::{
 };
 use mojave_fir::MigrateProtocol;
 use mojave_heap::{Heap, Word};
+use mojave_obs::NodeObs;
 use mojave_wire::{
-    decode_error, read_frame, send_error, write_frame, CodecSet, FrameError, FrameKind, Hello,
-    Welcome, WireError, WireReader, WireWriter, FORMAT_VERSION, MIN_SUPPORTED_VERSION,
-    TRANSPORT_VERSION,
+    decode_error, read_frame, read_frame_counted, send_error, write_frame_counted, CodecSet,
+    FrameError, FrameKind, Hello, LinkStats, Welcome, WireError, WireReader, WireWriter,
+    FORMAT_VERSION, MIN_SUPPORTED_VERSION, TRANSPORT_VERSION,
 };
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -92,6 +93,9 @@ pub struct JobSpec {
     pub heap_codec: Option<u8>,
     /// Route checkpoints through the asynchronous pipeline.
     pub async_checkpoints: bool,
+    /// Observability level the node should run its flight recorder at
+    /// (`mojave_obs::Level` as `u8`: 0 off, 1 metrics, 2 trace).
+    pub obs_level: u8,
 }
 
 fn encode_job(job: &JobSpec, resume: Option<&[u8]>) -> Vec<u8> {
@@ -110,6 +114,7 @@ fn encode_job(job: &JobSpec, resume: Option<&[u8]>) -> Vec<u8> {
         Some(id) => w.write_u8(id),
     }
     w.write_bool(job.async_checkpoints);
+    w.write_u8(job.obs_level);
     match resume {
         None => w.write_u8(0),
         Some(bytes) => {
@@ -133,6 +138,7 @@ fn decode_job(payload: &[u8]) -> Result<(JobSpec, Option<Vec<u8>>), WireError> {
         id => Some(id),
     };
     let async_checkpoints = r.read_bool()?;
+    let obs_level = r.read_u8()?;
     let resume = match r.read_u8()? {
         0 => None,
         _ => Some(r.read_bytes()?.to_vec()),
@@ -144,6 +150,7 @@ fn decode_job(payload: &[u8]) -> Result<(JobSpec, Option<Vec<u8>>), WireError> {
             delta_checkpoints,
             heap_codec,
             async_checkpoints,
+            obs_level,
         },
         resume,
     ))
@@ -171,6 +178,14 @@ pub struct NodeStats {
     pub checkpoint_pause_ns: u64,
     /// `ProcessStats::checkpoint_encode_ns`.
     pub checkpoint_encode_ns: u64,
+    /// Frames this node wrote to its control connection (incl. handshake).
+    pub frames_sent: u64,
+    /// Frames this node read from its control connection.
+    pub frames_received: u64,
+    /// Bytes written (frame headers included).
+    pub bytes_sent: u64,
+    /// Bytes read (frame headers included).
+    pub bytes_received: u64,
 }
 
 fn encode_stats(stats: &NodeStats) -> Vec<u8> {
@@ -197,6 +212,10 @@ fn encode_stats(stats: &NodeStats) -> Vec<u8> {
         stats.speculations,
         stats.checkpoint_pause_ns,
         stats.checkpoint_encode_ns,
+        stats.frames_sent,
+        stats.frames_received,
+        stats.bytes_sent,
+        stats.bytes_received,
     ] {
         w.write_u64(v);
     }
@@ -224,6 +243,10 @@ fn decode_stats(payload: &[u8]) -> Result<NodeStats, WireError> {
         speculations: r.read_u64()?,
         checkpoint_pause_ns: r.read_u64()?,
         checkpoint_encode_ns: r.read_u64()?,
+        frames_sent: r.read_u64()?,
+        frames_received: r.read_u64()?,
+        bytes_sent: r.read_u64()?,
+        bytes_received: r.read_u64()?,
     })
 }
 
@@ -288,6 +311,11 @@ struct ServerState {
     stats: VecDeque<NodeStats>,
     /// Codec set negotiated with each node's most recent connection.
     negotiated: HashMap<u32, CodecSet>,
+    /// Frame/byte counters, shared across all of a node's connections
+    /// (control + sink), so the hub sees per-node totals.
+    traffic: HashMap<u32, Arc<LinkStats>>,
+    /// The most recent observability report each node pushed.
+    obs: HashMap<u32, NodeObs>,
 }
 
 struct ServerShared {
@@ -331,6 +359,8 @@ impl ClusterServer {
                 resume: HashMap::new(),
                 stats: VecDeque::new(),
                 negotiated: HashMap::new(),
+                traffic: HashMap::new(),
+                obs: HashMap::new(),
             }),
             stats_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -408,6 +438,21 @@ impl ClusterServer {
         out.sort_by_key(|(n, _)| *n);
         out
     }
+
+    /// The hub-side frame/byte counters for `node`, aggregated across
+    /// every connection that node has opened (control + sink).
+    pub fn traffic(&self, node: u32) -> Option<Arc<LinkStats>> {
+        lock(&self.shared.state).traffic.get(&node).cloned()
+    }
+
+    /// The most recent observability report each node pushed
+    /// ([`FrameKind::ObsPush`]), sorted by node id.
+    pub fn obs_reports(&self) -> Vec<NodeObs> {
+        let state = lock(&self.shared.state);
+        let mut out: Vec<_> = state.obs.values().cloned().collect();
+        out.sort_by_key(|o| o.node);
+        out
+    }
 }
 
 impl Drop for ClusterServer {
@@ -472,6 +517,15 @@ fn handle_connection(shared: Arc<ServerShared>, mut stream: TcpStream) {
         return;
     }
     let node = hello.node;
+    let traffic = Arc::clone(
+        lock(&shared.state)
+            .traffic
+            .entry(node)
+            .or_insert_with(|| Arc::new(LinkStats::new())),
+    );
+    // The Hello frame arrived before we knew which node's counters to
+    // charge; account for it retroactively so both ends agree.
+    traffic.note_received(hello.to_payload().len());
     // Codec negotiation: what the client encodes ∩ what the hub's sink
     // accepts.  Unknown advertised bits were already dropped by
     // `from_bits`; Raw always survives.
@@ -486,14 +540,24 @@ fn handle_connection(shared: Arc<ServerShared>, mut stream: TcpStream) {
         arch: shared.cluster.arch(node as usize),
         codec_bits: negotiated.bits(),
     };
-    if write_frame(&mut stream, FrameKind::Welcome, &welcome.to_payload()).is_err() {
+    // Register the negotiated set *before* the Welcome goes out: the
+    // client treats receiving Welcome as "the hub knows about me", so
+    // queries racing the tail of the handshake must already see it.
+    lock(&shared.state).negotiated.insert(node, negotiated);
+    if write_frame_counted(
+        &mut stream,
+        FrameKind::Welcome,
+        &welcome.to_payload(),
+        &traffic,
+    )
+    .is_err()
+    {
         return;
     }
     let _ = stream.set_read_timeout(None);
-    lock(&shared.state).negotiated.insert(node, negotiated);
 
     loop {
-        let (kind, payload) = match read_frame(&mut stream) {
+        let (kind, payload) = match read_frame_counted(&mut stream, &traffic) {
             Ok(frame) => frame,
             // Orderly close or a dying peer: nothing left to answer.
             Err(FrameError::Closed | FrameError::Truncated { .. } | FrameError::Io(_)) => return,
@@ -505,7 +569,7 @@ fn handle_connection(shared: Arc<ServerShared>, mut stream: TcpStream) {
         match serve_request(&shared, node, kind, &payload) {
             Ok(None) => return, // Bye
             Ok(Some((reply_kind, reply))) => {
-                if write_frame(&mut stream, reply_kind, &reply).is_err() {
+                if write_frame_counted(&mut stream, reply_kind, &reply, &traffic).is_err() {
                     return;
                 }
             }
@@ -632,6 +696,34 @@ fn serve_request(
             shared.stats_ready.notify_all();
             Ok(Some((FrameKind::StatsAck, Vec::new())))
         }
+        FrameKind::ObsPush => {
+            let report =
+                NodeObs::from_bytes(payload).map_err(|e| format!("bad ObsPush payload: {e}"))?;
+            if report.node != node {
+                return Err(format!(
+                    "obs report for node {} arrived on node {node}'s connection",
+                    report.node
+                ));
+            }
+            lock(&shared.state).obs.insert(report.node, report);
+            Ok(Some((FrameKind::ObsAck, Vec::new())))
+        }
+        FrameKind::ObsQuery => {
+            // Scrape: every stored per-node report, sorted by node id so
+            // the reply is deterministic, each length-prefixed.
+            let reports = {
+                let state = lock(&shared.state);
+                let mut out: Vec<_> = state.obs.values().cloned().collect();
+                out.sort_by_key(|o| o.node);
+                out
+            };
+            let mut w = WireWriter::new();
+            w.write_u32(reports.len() as u32);
+            for report in &reports {
+                w.write_bytes(&report.to_bytes());
+            }
+            Ok(Some((FrameKind::ObsReply, w.into_bytes())))
+        }
         FrameKind::Bye => Ok(None),
         other => Err(format!("unexpected {other} frame from a client")),
     }
@@ -650,6 +742,11 @@ struct ClientShared {
     hello: Hello,
     welcome: Welcome,
     state: Mutex<ClientState>,
+    /// Client-side frame/byte counters for this connection (handshake
+    /// frames included), mirroring the hub's per-node accounting.
+    traffic: LinkStats,
+    /// Optional flight recorder: reconnects show up as events.
+    recorder: std::sync::OnceLock<mojave_obs::Recorder>,
 }
 
 /// A node process's connection to the [`ClusterServer`].
@@ -691,9 +788,13 @@ fn dial(addr: &str, attempts: u32) -> Result<TcpStream, FrameError> {
     })))
 }
 
-fn handshake(stream: &mut TcpStream, hello: &Hello) -> Result<Welcome, FrameError> {
-    write_frame(stream, FrameKind::Hello, &hello.to_payload())?;
-    match read_frame(stream)? {
+fn handshake(
+    stream: &mut TcpStream,
+    hello: &Hello,
+    traffic: &LinkStats,
+) -> Result<Welcome, FrameError> {
+    write_frame_counted(stream, FrameKind::Hello, &hello.to_payload(), traffic)?;
+    match read_frame_counted(stream, traffic)? {
         (FrameKind::Welcome, payload) => Welcome::from_payload(&payload),
         (FrameKind::Error, payload) => Err(FrameError::Protocol(decode_error(&payload))),
         (kind, _) => Err(FrameError::Protocol(format!(
@@ -706,8 +807,9 @@ impl RemoteCluster {
     /// Dial `addr` as `node` and run the handshake, advertising `codecs`.
     pub fn connect(addr: &str, node: u32, codecs: CodecSet) -> Result<RemoteCluster, FrameError> {
         let hello = Hello::current(node, codecs.bits(), mojave_core::Machine::DEFAULT_ARCH);
+        let traffic = LinkStats::new();
         let mut stream = dial(addr, DIAL_ATTEMPTS)?;
-        let welcome = handshake(&mut stream, &hello)?;
+        let welcome = handshake(&mut stream, &hello, &traffic)?;
         Ok(RemoteCluster {
             shared: Arc::new(ClientShared {
                 addr: addr.to_owned(),
@@ -716,8 +818,23 @@ impl RemoteCluster {
                 state: Mutex::new(ClientState {
                     stream: Some(stream),
                 }),
+                traffic,
+                recorder: std::sync::OnceLock::new(),
             }),
         })
+    }
+
+    /// Attach a flight recorder: connection losses that lead to a
+    /// successful reconnect are recorded as [`mojave_obs::EventKind::Reconnect`]
+    /// events.  Only the first recorder sticks.
+    pub fn set_recorder(&self, recorder: mojave_obs::Recorder) {
+        let _ = self.shared.recorder.set(recorder);
+    }
+
+    /// This connection's client-side frame/byte counters (handshake
+    /// included; both directions).
+    pub fn link_stats(&self) -> &LinkStats {
+        &self.shared.traffic
     }
 
     /// The handshake result: cluster shape, determinism, seed, arch,
@@ -748,10 +865,19 @@ impl RemoteCluster {
                 if attempt > 0 {
                     thread::sleep(Duration::from_millis(50 * attempt as u64));
                 }
-                match dial(&self.shared.addr, 1)
-                    .and_then(|mut s| handshake(&mut s, &self.shared.hello).map(|_| s))
-                {
-                    Ok(stream) => state.stream = Some(stream),
+                match dial(&self.shared.addr, 1).and_then(|mut s| {
+                    handshake(&mut s, &self.shared.hello, &self.shared.traffic).map(|_| s)
+                }) {
+                    Ok(stream) => {
+                        state.stream = Some(stream);
+                        if let Some(recorder) = self.shared.recorder.get() {
+                            recorder.record(
+                                mojave_obs::EventKind::Reconnect,
+                                attempt as u64,
+                                kind as u64,
+                            );
+                        }
+                    }
                     Err(e @ FrameError::Protocol(_)) => return Err(e),
                     Err(e) => {
                         last = e;
@@ -760,7 +886,9 @@ impl RemoteCluster {
                 }
             }
             let stream = state.stream.as_mut().expect("stream just ensured");
-            let result = write_frame(stream, kind, payload).and_then(|()| read_frame(stream));
+            let traffic = &self.shared.traffic;
+            let result = write_frame_counted(stream, kind, payload, traffic)
+                .and_then(|()| read_frame_counted(stream, traffic));
             match result {
                 Ok((k, reply)) if k == expect => return Ok(reply),
                 Ok((FrameKind::Error, reply)) => {
@@ -874,11 +1002,31 @@ impl RemoteCluster {
         Ok(())
     }
 
+    /// Push this node's observability report to the hub, where `mcc
+    /// stats` / `mcc trace` (and the coordinator) can scrape it.
+    pub fn push_obs(&self, report: &NodeObs) -> Result<(), FrameError> {
+        self.rpc(FrameKind::ObsPush, &report.to_bytes(), FrameKind::ObsAck)?;
+        Ok(())
+    }
+
+    /// Scrape every node's most recent observability report from the hub.
+    pub fn query_obs(&self) -> Result<Vec<NodeObs>, FrameError> {
+        let reply = self.rpc(FrameKind::ObsQuery, &[], FrameKind::ObsReply)?;
+        let mut r = WireReader::new(&reply);
+        let count = r.read_u32()?;
+        let mut out = Vec::with_capacity(count.min(1 << 16) as usize);
+        for _ in 0..count {
+            let bytes = r.read_bytes()?;
+            out.push(NodeObs::from_bytes(bytes).map_err(FrameError::Protocol)?);
+        }
+        Ok(out)
+    }
+
     /// Orderly goodbye (best-effort) and connection close.
     pub fn bye(&self) {
         let mut state = lock(&self.shared.state);
         if let Some(stream) = state.stream.as_mut() {
-            let _ = write_frame(stream, FrameKind::Bye, &[]);
+            let _ = write_frame_counted(stream, FrameKind::Bye, &[], &self.shared.traffic);
         }
         state.stream = None;
     }
@@ -1158,6 +1306,7 @@ mod tests {
             delta_checkpoints: true,
             heap_codec: None,
             async_checkpoints: true,
+            obs_level: 1,
         });
         let remote = RemoteCluster::connect(&addr, 1, CodecSet::all()).expect("connect");
         let (job, resume) = remote.fetch_job().expect("job");

@@ -553,6 +553,19 @@ pub enum DeliveryOutcome {
     Failed(String),
 }
 
+impl DeliveryOutcome {
+    /// Stable numeric code used in flight-recorder event payloads
+    /// (0 stored, 1 migrated, 2 superseded, 3 failed).
+    pub fn obs_code(&self) -> u64 {
+        match self {
+            DeliveryOutcome::Stored => 0,
+            DeliveryOutcome::Migrated => 1,
+            DeliveryOutcome::Superseded => 2,
+            DeliveryOutcome::Failed(_) => 3,
+        }
+    }
+}
+
 /// A process checkpoint captured up to — but not including — the expensive
 /// encode: the code section, resume metadata and a **zero-pause
 /// [`HeapSnapshot`]** of the heap ([`crate::Process::pack_snapshot`]).
@@ -676,6 +689,11 @@ pub struct PipelineStats {
     pub encode_ns: u64,
     /// Checkpoints currently queued (not yet picked up by a worker).
     pub queue_depth: usize,
+    /// High-water mark of the queue: the deepest the queue ever got at a
+    /// submit.  `queue_depth` is almost always 0 by the time anyone reads
+    /// it (workers drain fast); this is the number that shows whether
+    /// backpressure ever actually built up.
+    pub queue_depth_max: usize,
     /// Heap-payload bytes of produced images with every compressed frame
     /// expanded to its raw length.
     pub bytes_raw: u64,

@@ -14,6 +14,7 @@ use mojave_fir::{
     typecheck, validate, Atom, Binop, Expr, ExternEnv, FunId, MigrateProtocol, Program, Unop, VarId,
 };
 use mojave_heap::{BlockKind, Heap, HeapConfig, Word};
+use mojave_obs::{EventKind, Recorder};
 use mojave_wire::{CodecId, CodecSet, WireWriter};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -223,6 +224,9 @@ pub struct Process {
     /// the process lifetime, so the (potentially large) program clone is
     /// paid once; every subsequent zero-pause pack shares it.
     packed_code_cache: Option<Arc<PackedCode>>,
+    /// Flight recorder for checkpoint/deliver events (shared with the
+    /// heap's recorder when set through [`Process::with_recorder`]).
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for Process {
@@ -277,6 +281,7 @@ impl Process {
             deltas_since_full: 0,
             encode_ns_reported: 0,
             packed_code_cache: None,
+            recorder: Recorder::disabled(),
         })
     }
 
@@ -344,6 +349,7 @@ impl Process {
             deltas_since_full: 0,
             encode_ns_reported: 0,
             packed_code_cache: None,
+            recorder: Recorder::disabled(),
         })
     }
 
@@ -364,6 +370,61 @@ impl Process {
     pub fn with_extern_env(mut self, env: ExternEnv) -> Self {
         self.extern_env = env;
         self
+    }
+
+    /// Attach a flight recorder (builder style).  The same recorder is
+    /// handed to the heap, so checkpoint spans, GC, freeze and
+    /// speculation events all land in one stream.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.heap.set_recorder(recorder.clone());
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached flight recorder (disabled unless set through
+    /// [`Process::with_recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Fold the scattered per-layer stats structs ([`ProcessStats`],
+    /// heap stats, pipeline stats) into the recorder's metrics registry
+    /// under one namespace, so a single snapshot exports everything.
+    /// No-op below the `Metrics` level.
+    pub fn export_metrics(&self) {
+        if !self.recorder.metrics_on() {
+            return;
+        }
+        let registry = self.recorder.registry();
+        let s = self.stats;
+        registry.counter_set("process.steps", s.steps);
+        registry.counter_set("process.speculations", s.speculations);
+        registry.counter_set("process.commits", s.commits);
+        registry.counter_set("process.rollbacks", s.rollbacks);
+        registry.counter_set("process.checkpoints", s.checkpoints);
+        registry.counter_set("process.delta_checkpoints", s.delta_checkpoints);
+        registry.counter_set("process.migration_attempts", s.migration_attempts);
+        registry.counter_set("process.migration_failures", s.migration_failures);
+        registry.counter_set("process.checkpoint_pause_ns", s.checkpoint_pause_ns);
+        registry.counter_set("process.checkpoint_encode_ns", s.checkpoint_encode_ns);
+        let h = self.heap.stats();
+        registry.counter_set("heap.blocks_allocated", h.blocks_allocated);
+        registry.counter_set("heap.bytes_allocated", h.bytes_allocated);
+        registry.counter_set("heap.minor_collections", h.minor_collections);
+        registry.counter_set("heap.major_collections", h.major_collections);
+        registry.counter_set("heap.cow_clones", h.cow_clones);
+        registry.counter_set("heap.snapshots_frozen", h.snapshots_frozen);
+        if let Some(p) = self.sink.pipeline_stats() {
+            registry.counter_set("pipeline.submitted", p.submitted);
+            registry.counter_set("pipeline.completed", p.completed);
+            registry.counter_set("pipeline.coalesced", p.coalesced);
+            registry.counter_set("pipeline.failed", p.failed);
+            registry.counter_set("pipeline.queue_depth_max", p.queue_depth_max as u64);
+            registry.counter_set("pipeline.bytes_raw", p.bytes_raw);
+            registry.counter_set("pipeline.bytes_stored", p.bytes_stored);
+            registry.counter_set("pipeline.pause_ns", p.pause_ns);
+            registry.counter_set("pipeline.encode_ns", p.encode_ns);
+        }
     }
 
     /// Execution statistics so far.
@@ -525,6 +586,11 @@ impl Process {
                     };
                     let asynchronous =
                         self.config.async_checkpoints && protocol == MigrateProtocol::Checkpoint;
+                    self.recorder.record(
+                        EventKind::CheckpointBegin,
+                        label as u64,
+                        asynchronous as u64,
+                    );
                     let pause_start = Instant::now();
                     let outcome = if asynchronous {
                         let mut pack = self.pack_snapshot(
@@ -563,7 +629,23 @@ impl Process {
                             self.stats.checkpoint_encode_ns +=
                                 pause_start.elapsed().as_nanos() as u64;
                         }
+                        if self.recorder.tracing() {
+                            let (raw, stored) = image.heap_payload_wire_stats();
+                            self.recorder.record(EventKind::Encode, raw, stored);
+                            self.recorder.record(
+                                EventKind::CodecChosen,
+                                self.config.heap_codec.map_or(0xFF, |c| c as u64),
+                                stored,
+                            );
+                        }
                         let outcome = self.sink.deliver(protocol, dest, &image);
+                        if self.recorder.tracing() {
+                            self.recorder.record(
+                                EventKind::Deliver,
+                                outcome.obs_code(),
+                                image.heap_payload_wire_stats().1,
+                            );
+                        }
                         if outcome == DeliveryOutcome::Stored
                             && protocol == MigrateProtocol::Checkpoint
                             && delta_base.is_none()
@@ -586,6 +668,11 @@ impl Process {
                     if protocol == MigrateProtocol::Checkpoint {
                         self.stats.checkpoint_pause_ns += pause_start.elapsed().as_nanos() as u64;
                     }
+                    self.recorder.record(
+                        EventKind::CheckpointEnd,
+                        label as u64,
+                        outcome.obs_code(),
+                    );
                     match (protocol, outcome) {
                         (MigrateProtocol::Migrate, DeliveryOutcome::Migrated) => {
                             return Ok(RunOutcome::MigratedAway {

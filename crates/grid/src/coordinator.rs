@@ -8,6 +8,7 @@ use mojave_cluster::{
     Cluster, ClusterConfig, ClusterExternals, ClusterServer, ClusterSink, JobSpec,
 };
 use mojave_core::{MigrationSink, Process, ProcessConfig, ProcessStats, RunOutcome, RuntimeError};
+use mojave_obs::{EventKind, Level, NodeObs, Recorder};
 use mojave_runtime::{AsyncSink, PipelineConfig};
 use mojave_wire::CodecId;
 use std::fmt;
@@ -68,6 +69,12 @@ pub struct GridReport {
     /// workers — on mutator threads for synchronous checkpoints, on
     /// pipeline workers for asynchronous ones.
     pub checkpoint_encode_ns: u64,
+    /// Per-worker observability reports (flight-recorder events +
+    /// metrics), present when the run was started with
+    /// [`GridOptions::obs`] above [`Level::Off`].  Sorted by node id; a
+    /// resurrected victim contributes two reports (pre-failure run
+    /// first).  Deliberately excluded from [`GridReport::replay_digest`].
+    pub node_obs: Vec<NodeObs>,
 }
 
 impl GridReport {
@@ -163,6 +170,15 @@ impl GridReport {
             "  network: {} messages, {} B; wall time {:?}",
             self.network_messages, self.network_bytes, self.wall_time,
         );
+        if !self.node_obs.is_empty() {
+            let events: usize = self.node_obs.iter().map(|o| o.events.len()).sum();
+            let _ = writeln!(
+                out,
+                "  observability: {} reports, {} recorded events",
+                self.node_obs.len(),
+                events,
+            );
+        }
         out
     }
 }
@@ -219,6 +235,7 @@ struct WorkerResult {
     worker: usize,
     outcome: Result<RunOutcome, RuntimeError>,
     stats: ProcessStats,
+    obs: Option<NodeObs>,
 }
 
 /// The worker-side process configuration: delta checkpoints on (the
@@ -246,19 +263,33 @@ fn worker_config(cluster: &Cluster, worker: usize, options: GridOptions) -> Proc
 /// failure injection) land at exactly the point in the worker's execution
 /// the synchronous path would produce them, which is what makes replay
 /// digests identical with the pipeline on or off.
-fn worker_sink(cluster: &Cluster, worker: usize, options: GridOptions) -> Box<dyn MigrationSink> {
+fn worker_sink(
+    cluster: &Cluster,
+    worker: usize,
+    options: GridOptions,
+    recorder: &Recorder,
+) -> Box<dyn MigrationSink> {
     let inner = ClusterSink::new(cluster.clone(), worker);
     if options.async_checkpoints {
-        Box::new(AsyncSink::new(
+        let sink = AsyncSink::new(
             Box::new(inner),
             PipelineConfig {
                 drain_after_submit: cluster.is_deterministic(),
                 ..PipelineConfig::default()
             },
-        ))
+        );
+        sink.set_recorder(recorder.clone());
+        Box::new(sink)
     } else {
         Box::new(inner)
     }
+}
+
+/// The flight recorder a worker runs with: the node's identity, the
+/// run's [`GridOptions::obs`] level, and — in deterministic mode — the
+/// cluster's seeded virtual clock, so event timestamps replay exactly.
+fn worker_recorder(cluster: &Cluster, worker: usize, options: GridOptions) -> Recorder {
+    Recorder::with_clock(worker as u32, options.obs, cluster.clock_source(worker))
 }
 
 fn spawn_worker(
@@ -271,21 +302,28 @@ fn spawn_worker(
     let cluster = cluster.clone();
     thread::spawn(move || {
         let config = worker_config(&cluster, worker, options);
+        let recorder = worker_recorder(&cluster, worker, options);
         let result = Process::new(program, config).map(|p| {
-            p.with_externals(Box::new(ClusterExternals::new(cluster.clone(), worker)))
-                .with_sink(worker_sink(&cluster, worker, options))
+            p.with_externals(Box::new(
+                ClusterExternals::new(cluster.clone(), worker).with_recorder(recorder.clone()),
+            ))
+            .with_sink(worker_sink(&cluster, worker, options, &recorder))
+            .with_recorder(recorder.clone())
         });
-        let (outcome, stats) = match result {
+        let (outcome, stats, obs) = match result {
             Ok(mut process) => {
                 let outcome = process.run();
-                (outcome, process.stats())
+                process.export_metrics();
+                let obs = (options.obs > Level::Off).then(|| process.recorder().snapshot());
+                (outcome, process.stats(), obs)
             }
-            Err(e) => (Err(e), ProcessStats::default()),
+            Err(e) => (Err(e), ProcessStats::default(), None),
         };
         let _ = tx.send(WorkerResult {
             worker,
             outcome,
             stats,
+            obs,
         });
     });
 }
@@ -315,7 +353,7 @@ fn resurrect(
     options: GridOptions,
     tx: mpsc::Sender<WorkerResult>,
 ) -> Result<(), GridError> {
-    let (name, _step) =
+    let (name, step) =
         latest_checkpoint(cluster, worker).ok_or(GridError::NoCheckpoint { worker })?;
     let image = cluster
         .store()
@@ -325,21 +363,29 @@ fn resurrect(
     let cluster = cluster.clone();
     thread::spawn(move || {
         let config = worker_config(&cluster, worker, options);
+        let recorder = worker_recorder(&cluster, worker, options);
+        recorder.record(EventKind::Resurrect, step, 0);
         let result = Process::from_image(image, config).map(|p| {
-            p.with_externals(Box::new(ClusterExternals::new(cluster.clone(), worker)))
-                .with_sink(worker_sink(&cluster, worker, options))
+            p.with_externals(Box::new(
+                ClusterExternals::new(cluster.clone(), worker).with_recorder(recorder.clone()),
+            ))
+            .with_sink(worker_sink(&cluster, worker, options, &recorder))
+            .with_recorder(recorder.clone())
         });
-        let (outcome, stats) = match result {
+        let (outcome, stats, obs) = match result {
             Ok(mut process) => {
                 let outcome = process.run();
-                (outcome, process.stats())
+                process.export_metrics();
+                let obs = (options.obs > Level::Off).then(|| process.recorder().snapshot());
+                (outcome, process.stats(), obs)
             }
-            Err(e) => (Err(e), ProcessStats::default()),
+            Err(e) => (Err(e), ProcessStats::default(), None),
         };
         let _ = tx.send(WorkerResult {
             worker,
             outcome,
             stats,
+            obs,
         });
     });
     Ok(())
@@ -361,6 +407,12 @@ pub struct GridOptions {
     /// synchronous run's; in wall-clock mode checkpoints overlap the
     /// computation and the mutator pause shrinks to the heap freeze.
     pub async_checkpoints: bool,
+    /// Observability level workers run their flight recorders at.
+    /// [`Level::Off`] (the default) compiles down to one relaxed atomic
+    /// load per would-be event; [`Level::Trace`] additionally fills
+    /// [`GridReport::node_obs`].  Never affects
+    /// [`GridReport::replay_digest`].
+    pub obs: Level,
 }
 
 /// Run the grid computation on a simulated cluster, optionally injecting a
@@ -468,6 +520,7 @@ pub fn run_grid_served(
         delta_checkpoints: true,
         heap_codec: options.heap_codec.map(|c| c as u8),
         async_checkpoints: options.async_checkpoints,
+        obs_level: options.obs as u8,
     });
     if let Some(plan) = failure {
         if cluster.is_deterministic() {
@@ -568,6 +621,7 @@ pub fn run_grid_served(
         checkpoint_stored_bytes: store_stats.stored_bytes,
         checkpoint_pause_ns,
         checkpoint_encode_ns,
+        node_obs: server.obs_reports(),
     })
 }
 
@@ -618,6 +672,7 @@ fn run_grid_on(
     let mut checkpoint_encode_ns = 0u64;
     let mut finished = 0usize;
     let mut recovered = false;
+    let mut node_obs: Vec<NodeObs> = Vec::new();
 
     while finished < config.workers {
         let result = rx
@@ -629,6 +684,7 @@ fn run_grid_on(
         speculations += result.stats.speculations;
         checkpoint_pause_ns += result.stats.checkpoint_pause_ns;
         checkpoint_encode_ns += result.stats.checkpoint_encode_ns;
+        node_obs.extend(result.obs);
         match result.outcome {
             Ok(RunOutcome::Exit(code)) => {
                 checksums[result.worker] = code as f64 / 100.0;
@@ -658,6 +714,12 @@ fn run_grid_on(
         }
     }
 
+    // Arrival order across nodes depends on thread scheduling; a stable
+    // sort by node id makes the report deterministic (a resurrected
+    // victim's pre-failure report necessarily arrived before its
+    // post-resurrection one, and stability preserves that).
+    node_obs.sort_by_key(|o| o.node);
+
     let store_stats = cluster.store().stats();
     Ok(GridReport {
         worker_checksums: checksums,
@@ -674,6 +736,7 @@ fn run_grid_on(
         checkpoint_stored_bytes: store_stats.stored_bytes,
         checkpoint_pause_ns,
         checkpoint_encode_ns,
+        node_obs,
     })
 }
 
@@ -862,6 +925,82 @@ mod tests {
             summary.contains(&report.checkpoint_stored_bytes.to_string()),
             "summary reports stored-vs-raw bytes: {summary}"
         );
+    }
+
+    /// Concatenated wire encoding of every flight-recorder event in a
+    /// report, in the report's (node-sorted, stable) order.
+    fn event_stream_bytes(report: &GridReport) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for obs in &report.node_obs {
+            for event in &obs.events {
+                event.encode(&mut bytes);
+            }
+        }
+        bytes
+    }
+
+    #[test]
+    fn traced_deterministic_runs_emit_identical_event_streams() {
+        // Two contracts at once: (1) tracing never perturbs the replay
+        // digest — a traced run digests identically to an untraced one;
+        // (2) the trace itself is deterministic — two traced runs emit
+        // byte-identical event streams (timestamps included, because they
+        // come from the seeded virtual clock).
+        let config = GridConfig {
+            workers: 4,
+            rows_per_worker: 3,
+            cols: 6,
+            timesteps: 8,
+            checkpoint_interval: 2,
+        };
+        let failure = Some(FailurePlan {
+            victim: 2,
+            after_checkpoints: 1,
+        });
+        // Through the asynchronous pipeline: the traced run then covers
+        // the zero-pause freeze (`Freeze`) and the pipeline worker's
+        // `Encode`/`Deliver` events, whose ring order the deterministic
+        // drain barrier pins.
+        let with_obs = |obs| GridOptions {
+            seed: Some(0x0B5E_57EA),
+            async_checkpoints: true,
+            obs,
+            ..GridOptions::default()
+        };
+        let untraced = run_grid_with(&config, failure, with_obs(Level::Off)).expect("untraced");
+        let a = run_grid_with(&config, failure, with_obs(Level::Trace)).expect("first traced");
+        let b = run_grid_with(&config, failure, with_obs(Level::Trace)).expect("second traced");
+
+        assert!(untraced.node_obs.is_empty());
+        assert_eq!(untraced.replay_digest(), a.replay_digest());
+        assert_eq!(a.replay_digest(), b.replay_digest());
+
+        // Five reports: four workers plus the victim's resurrected run.
+        assert_eq!(a.node_obs.len(), 5);
+        assert!(a.recovered_from_failure);
+        let stream = event_stream_bytes(&a);
+        assert!(!stream.is_empty());
+        assert_eq!(stream, event_stream_bytes(&b), "event streams diverged");
+
+        // The stream tells the run's story: checkpoints, speculation,
+        // messaging, the injected failure and the resurrection.
+        let kinds: std::collections::BTreeSet<EventKind> = a
+            .node_obs
+            .iter()
+            .flat_map(|o| o.events.iter().map(|e| e.kind))
+            .collect();
+        for kind in [
+            EventKind::CheckpointBegin,
+            EventKind::CheckpointEnd,
+            EventKind::Freeze,
+            EventKind::SpecEnter,
+            EventKind::Send,
+            EventKind::Recv,
+            EventKind::Failure,
+            EventKind::Resurrect,
+        ] {
+            assert!(kinds.contains(&kind), "no {kind:?} event recorded");
+        }
     }
 
     #[test]

@@ -172,6 +172,7 @@ impl Heap {
                 }
             }
         }
+        let freed = to_free.len() as u64;
         for ptr in to_free {
             // A young unmarked block might still be the preserved original of
             // a speculation record whose table entry points elsewhere; those
@@ -183,6 +184,11 @@ impl Heap {
         self.reset_after_gc();
         self.stats.minor_collections += 1;
         self.clear_marks();
+        self.recorder.record(
+            mojave_obs::EventKind::GcMinor,
+            freed,
+            self.table.live() as u64,
+        );
     }
 
     /// Free a young block found dead by the minor collection.  The pointer
@@ -209,6 +215,7 @@ impl Heap {
         // by index would free the wrong block.  Collect the slots that are
         // preserved originals so we can skip them here (they are marked
         // anyway via speculation_root_slots, so they never appear in `dead`).
+        let freed = dead.len() as u64;
         for ptr in dead {
             self.free_block(ptr);
         }
@@ -222,6 +229,11 @@ impl Heap {
         self.reset_after_gc();
         self.stats.major_collections += 1;
         self.clear_marks();
+        self.recorder.record(
+            mojave_obs::EventKind::GcMajor,
+            freed,
+            self.table.live() as u64,
+        );
     }
 
     /// Sliding compaction: move every live block to the lowest free slot,

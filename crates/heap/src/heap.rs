@@ -135,6 +135,10 @@ pub struct Heap {
     /// Pointer indices freed since the last clean point and not since
     /// reallocated — the pointer-table fixups a delta image must ship.
     pub(crate) freed_since_clean: HashSet<PtrIdx>,
+    /// Flight recorder for GC, freeze and speculation events.  Disabled
+    /// by default (one-branch cost); cloned shares between heap, process
+    /// and pipeline.
+    pub(crate) recorder: mojave_obs::Recorder,
 }
 
 impl Heap {
@@ -154,6 +158,18 @@ impl Heap {
     /// Current statistics.
     pub fn stats(&self) -> HeapStats {
         self.stats
+    }
+
+    /// Attach a flight recorder: GC, freeze and speculation events flow
+    /// into it.  The default recorder is disabled and costs one branch.
+    pub fn set_recorder(&mut self, recorder: mojave_obs::Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached flight recorder (disabled unless
+    /// [`Heap::set_recorder`] was called).
+    pub fn recorder(&self) -> &mojave_obs::Recorder {
+        &self.recorder
     }
 
     /// The heap configuration.
@@ -522,6 +538,11 @@ impl Heap {
     pub fn spec_enter(&mut self) -> usize {
         self.spec_levels.push(SpecLevelRecord::default());
         self.stats.speculations_entered += 1;
+        self.recorder.record(
+            mojave_obs::EventKind::SpecEnter,
+            self.spec_levels.len() as u64,
+            0,
+        );
         self.spec_levels.len()
     }
 
@@ -556,6 +577,8 @@ impl Heap {
             }
         }
         self.stats.speculations_committed += 1;
+        self.recorder
+            .record(mojave_obs::EventKind::SpecCommit, level as u64, 0);
         Ok(())
     }
 
@@ -590,6 +613,8 @@ impl Heap {
             }
         }
         self.stats.speculations_rolled_back += 1;
+        self.recorder
+            .record(mojave_obs::EventKind::SpecAbort, level as u64, 0);
         Ok(())
     }
 
@@ -749,6 +774,11 @@ impl Heap {
             .filter(|p| self.table.lookup(*p).is_some())
             .collect();
         dirty.sort();
+        self.recorder.record(
+            mojave_obs::EventKind::Freeze,
+            records.len() as u64,
+            self.live_bytes as u64,
+        );
         crate::HeapSnapshot::new(
             self.table.capacity(),
             records,

@@ -11,6 +11,11 @@
 //! * `mcc node <addr> <node-id>` — join a `ClusterServer` over TCP as one
 //!   node process: handshake, fetch the job, run the worker with remote
 //!   externals + sink, report stats (the multi-process cluster harness).
+//! * `mcc stats <addr>` — scrape every node's metrics from a running
+//!   cluster server and print them.
+//! * `mcc trace <addr> [out.json]` — scrape every node's flight-recorder
+//!   events and export them as Chrome trace-event JSON
+//!   (`chrome://tracing` / Perfetto).
 //!
 //! Programs run with the standard externals; checkpoints and suspends are
 //! written as `<name>.img` files in the current directory so they can be
@@ -21,6 +26,7 @@ use mojave_core::{
     BackendKind, DeliveryOutcome, MigrationImage, MigrationSink, Process, ProcessConfig, RunOutcome,
 };
 use mojave_fir::MigrateProtocol;
+use mojave_obs::{export_chrome_trace, validate_chrome_trace, Level, NodeObs, Recorder};
 use mojave_runtime::{AsyncSink, PipelineConfig};
 use std::path::Path;
 use std::process::ExitCode;
@@ -68,6 +74,8 @@ fn usage() -> ExitCode {
     eprintln!("  mcc resume <image.img> [--interp]");
     eprintln!("  mcc inspect <image.img>");
     eprintln!("  mcc node <addr> <node-id>");
+    eprintln!("  mcc stats <addr>");
+    eprintln!("  mcc trace <addr> [out.json]");
     ExitCode::from(2)
 }
 
@@ -114,23 +122,32 @@ fn serve_node(addr: &str, node: u32) -> ExitCode {
         async_checkpoints: job.async_checkpoints,
         ..ProcessConfig::default()
     };
+    // The job decides the observability level; a node process always
+    // runs on the wall clock (its events are scraped, not replayed —
+    // replay determinism is the in-process simulation's contract).
+    let obs_level = Level::from_u8(job.obs_level);
+    let recorder = Recorder::new(node, obs_level);
+    control.set_recorder(recorder.clone());
     let sink_conn = match RemoteCluster::connect(addr, node, codecs) {
         Ok(conn) => conn,
         Err(e) => return report_failure(format!("cannot open sink connection: {e}")),
     };
+    sink_conn.set_recorder(recorder.clone());
     let sink: Box<dyn MigrationSink> = {
         let inner = Box::new(RemoteSink::new(sink_conn.clone()));
         if job.async_checkpoints {
             // The deterministic drain barrier, exactly as the in-process
             // coordinator configures it: replay digests must not depend on
             // whether checkpoints ride the pipeline.
-            Box::new(AsyncSink::new(
+            let pipeline = AsyncSink::new(
                 inner,
                 PipelineConfig {
                     drain_after_submit: welcome.deterministic,
                     ..PipelineConfig::default()
                 },
-            ))
+            );
+            pipeline.set_recorder(recorder.clone());
+            Box::new(pipeline)
         } else {
             inner
         }
@@ -152,11 +169,22 @@ fn serve_node(addr: &str, node: u32) -> ExitCode {
     let mut process = match built {
         Ok(p) => p
             .with_externals(Box::new(RemoteExternals::new(control.clone())))
-            .with_sink(sink),
+            .with_sink(sink)
+            .with_recorder(recorder.clone()),
         Err(message) => return report_failure(message),
     };
     let outcome = process.run();
+    process.export_metrics();
     let stats = process.stats();
+    // Push the observability report before the stats frame: the
+    // coordinator treats stats as the node's last word, so by then the
+    // hub must already hold this node's scrape-able report.
+    if obs_level > Level::Off {
+        if let Err(e) = control.push_obs(&recorder.snapshot()) {
+            eprintln!("mcc: node {node} could not push obs report: {e}");
+        }
+    }
+    let link = control.link_stats();
     let mut report = NodeStats {
         node,
         rollbacks: stats.rollbacks,
@@ -165,6 +193,10 @@ fn serve_node(addr: &str, node: u32) -> ExitCode {
         speculations: stats.speculations,
         checkpoint_pause_ns: stats.checkpoint_pause_ns,
         checkpoint_encode_ns: stats.checkpoint_encode_ns,
+        frames_sent: link.frames_sent(),
+        frames_received: link.frames_received(),
+        bytes_sent: link.bytes_sent(),
+        bytes_received: link.bytes_received(),
         ..NodeStats::default()
     };
     match outcome {
@@ -181,6 +213,86 @@ fn serve_node(addr: &str, node: u32) -> ExitCode {
     }
     sink_conn.bye();
     control.bye();
+    ExitCode::SUCCESS
+}
+
+/// Scrape every node's observability report from a running cluster
+/// server.  Connects as an *observer* on node 0's slot (the hub allows
+/// any number of connections per node), queries, and says goodbye.
+fn scrape_obs(addr: &str) -> Result<Vec<NodeObs>, String> {
+    let remote = RemoteCluster::connect(addr, 0, mojave_wire::CodecSet::all())
+        .map_err(|e| format!("cannot reach cluster at {addr}: {e}"))?;
+    let reports = remote
+        .query_obs()
+        .map_err(|e| format!("scrape failed: {e}"));
+    remote.bye();
+    reports
+}
+
+/// `mcc stats <addr>`: print every node's scraped metrics.
+fn print_stats(addr: &str) -> ExitCode {
+    let reports = match scrape_obs(addr) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("mcc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if reports.is_empty() {
+        println!("no observability reports on the hub (jobs run with obs_level 0?)");
+        return ExitCode::SUCCESS;
+    }
+    for report in &reports {
+        println!(
+            "node {}: {} events recorded ({} dropped)",
+            report.node,
+            report.events.len(),
+            report.dropped
+        );
+        for line in report.metrics.to_text().lines() {
+            println!("  {line}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `mcc trace <addr> [out.json]`: export every node's scraped events as
+/// Chrome trace-event JSON (validated before it is written).
+fn dump_trace(addr: &str, out: Option<&str>) -> ExitCode {
+    let reports = match scrape_obs(addr) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("mcc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Concatenate per node (reports arrive sorted by node id), which
+    // keeps each node's span begin/end pairs in recording order — the
+    // property the validator checks.
+    let events: Vec<mojave_obs::Event> = reports.iter().flat_map(|r| r.events.clone()).collect();
+    let trace = export_chrome_trace(&events);
+    let summary = match validate_chrome_trace(&trace) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("mcc: exported trace failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &trace) {
+                eprintln!("mcc: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "mcc: wrote {path}: {} events from {} nodes ({} spans)",
+                summary.events,
+                reports.len(),
+                summary.begins
+            );
+        }
+        None => println!("{trace}"),
+    }
     ExitCode::SUCCESS
 }
 
@@ -356,6 +468,18 @@ fn main() -> ExitCode {
                 return usage();
             };
             serve_node(addr, node)
+        }
+        "stats" => {
+            let Some(addr) = args.get(1) else {
+                return usage();
+            };
+            print_stats(addr)
+        }
+        "trace" => {
+            let Some(addr) = args.get(1) else {
+                return usage();
+            };
+            dump_trace(addr, args.get(2).map(String::as_str))
         }
         _ => usage(),
     }

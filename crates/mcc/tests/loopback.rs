@@ -4,12 +4,14 @@
 //! claim is digest parity — every wire-v5 image genuinely crossed a
 //! socket, and the run is still bit-identical to the single-process sim.
 
-use mojave_cluster::{Cluster, ClusterConfig, ClusterServer};
+use mojave_cluster::{Cluster, ClusterConfig, ClusterServer, JobSpec};
 use mojave_grid::{
     run_grid_deterministic, run_grid_served, run_grid_with, FailurePlan, GridConfig, GridOptions,
 };
+use mojave_obs::{validate_chrome_trace, Level};
 use mojave_wire::CodecSet;
 use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 fn spawn_node(addr: &str, node: usize) -> std::io::Result<Child> {
     Command::new(env!("CARGO_BIN_EXE_mcc"))
@@ -39,11 +41,40 @@ fn three_process_loopback_run_matches_in_process_digest() {
     let cluster = Cluster::new(ClusterConfig::deterministic(config.workers, seed));
     let server = ClusterServer::bind(cluster, "127.0.0.1:0").expect("bind loopback");
     let addr = server.local_addr().to_string();
-    let served = run_grid_served(&server, &config, None, GridOptions::default(), |node| {
+    // Tracing is on for the served run but off for the in-process oracle:
+    // digest parity below doubles as the proof that observability never
+    // perturbs a run.
+    let options = GridOptions {
+        obs: Level::Trace,
+        ..GridOptions::default()
+    };
+    let served = run_grid_served(&server, &config, None, options, |node| {
         spawn_node(&addr, node)
     })
     .expect("served run succeeds");
     assert!(served.is_correct(), "max error {}", served.max_error());
+
+    // Every node pushed a scrape-able observability report over its
+    // socket before reporting stats.
+    assert_eq!(served.node_obs.len(), config.workers);
+    for report in &served.node_obs {
+        assert!(
+            !report.metrics.is_empty(),
+            "node {} scraped empty metrics",
+            report.node
+        );
+        assert!(
+            report.metrics.counter("process.checkpoints") > 0,
+            "node {} metrics: {}",
+            report.node,
+            report.metrics.to_text()
+        );
+        assert!(
+            !report.events.is_empty(),
+            "node {} traced no events",
+            report.node
+        );
+    }
 
     // All four codecs negotiated on every node's connection.
     let negotiated = server.negotiated_codecs();
@@ -121,4 +152,91 @@ fn loopback_async_pipeline_reuses_backpressure_and_keeps_the_digest() {
     )
     .expect("in-process async run");
     assert_eq!(served.replay_digest(), in_process.replay_digest());
+}
+
+#[test]
+fn loopback_traffic_counters_are_coherent_and_cli_scrapes_work() {
+    // One node process running a tiny checkpointing job, so both ends'
+    // frame/byte counters and the scrape CLI can be checked precisely.
+    let cluster = Cluster::new(ClusterConfig::deterministic(1, 0x0B5_CAFE));
+    let server = ClusterServer::bind(cluster, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    server.set_job(JobSpec {
+        source: r#"
+int main() {
+    int i = 0;
+    while (i < 3) {
+        checkpoint(str_concat("grid-0-", int_to_str(i)));
+        i = i + 1;
+    }
+    return 4200;
+}
+"#
+        .into(),
+        step_budget: Some(1_000_000),
+        delta_checkpoints: true,
+        heap_codec: None,
+        async_checkpoints: false,
+        obs_level: Level::Trace as u8,
+    });
+    let mut child = spawn_node(&addr, 0).expect("spawn node");
+    let stats = server
+        .next_stats(Duration::from_secs(60))
+        .expect("node reports");
+    let _ = child.wait();
+    assert_eq!(stats.exit_code, Some(4200));
+
+    // The node counted its own control-connection traffic...
+    assert!(stats.frames_sent > 0, "stats: {stats:?}");
+    assert!(stats.frames_received > 0);
+    // ...every frame carries a 5-byte header, so bytes dominate frames...
+    assert!(stats.bytes_sent >= stats.frames_sent * 5);
+    assert!(stats.bytes_received >= stats.frames_received * 5);
+
+    // ...and the hub's aggregate for the node (control + sink
+    // connections, plus the stats frame itself, which arrived after the
+    // node snapshotted its counters) is strictly larger on both axes.
+    let hub = server.traffic(0).expect("hub tracked node 0");
+    assert!(
+        hub.frames_received() > stats.frames_sent,
+        "hub received {} vs node sent {}",
+        hub.frames_received(),
+        stats.frames_sent
+    );
+    assert!(hub.frames_sent() > stats.frames_received);
+    assert!(hub.bytes_received() > stats.bytes_sent);
+    assert!(hub.bytes_sent() > stats.bytes_received);
+
+    // `mcc stats` scrapes non-empty per-node metrics over a real socket.
+    let out = Command::new(env!("CARGO_BIN_EXE_mcc"))
+        .args(["stats", &addr])
+        .output()
+        .expect("mcc stats runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("node 0"), "mcc stats said: {text}");
+    assert!(
+        text.contains("process.checkpoints"),
+        "mcc stats said: {text}"
+    );
+
+    // `mcc trace` exports Chrome trace JSON that the validator accepts
+    // with balanced span begin/end pairs.
+    let trace_path =
+        std::env::temp_dir().join(format!("mojave-loopback-trace-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_mcc"))
+        .args(["trace", &addr])
+        .arg(&trace_path)
+        .output()
+        .expect("mcc trace runs");
+    assert!(
+        out.status.success(),
+        "mcc trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let summary = validate_chrome_trace(&trace).expect("trace validates");
+    assert!(summary.begins > 0, "checkpoint spans must appear");
+    assert_eq!(summary.begins, summary.ends, "span pairs balance");
+    let _ = std::fs::remove_file(&trace_path);
 }

@@ -1,0 +1,96 @@
+//! Pluggable time sources for the flight recorder.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Where event timestamps come from.
+///
+/// The recorder never interprets the value beyond "microseconds on this
+/// node's timeline"; what matters is the contract: in deterministic
+/// cluster mode the source must be the node's **seeded virtual clock**
+/// (a pure function of the seed and the node's own execution), so two
+/// runs from the same seed stamp identical timestamps and the exported
+/// trace replays bit-for-bit.  Reading the clock must never *advance*
+/// it — observation cannot perturb the run.
+pub trait ClockSource: Send + Sync + Debug {
+    /// Current time in microseconds on this source's timeline.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock time, microseconds since the clock was created.  The
+/// default for real (non-deterministic) runs.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl ClockSource for WallClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually advanced clock: reads return the last value stored.  Used
+/// by tests and as the zero clock of a disabled recorder (a disabled
+/// recorder must not pay `Instant::now()` at construction).
+#[derive(Debug, Default)]
+pub struct FixedClock {
+    now_us: AtomicU64,
+}
+
+impl FixedClock {
+    /// A clock pinned at `now_us` microseconds.
+    pub fn at(now_us: u64) -> FixedClock {
+        FixedClock {
+            now_us: AtomicU64::new(now_us),
+        }
+    }
+
+    /// Move the clock to `now_us` (monotonicity is the caller's duty).
+    pub fn set(&self, now_us: u64) {
+        self.now_us.store(now_us, Ordering::Relaxed);
+    }
+}
+
+impl ClockSource for FixedClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_advances() {
+        let clock = WallClock::new();
+        let a = clock.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(clock.now_us() > a);
+    }
+
+    #[test]
+    fn fixed_clock_reads_what_was_set() {
+        let clock = FixedClock::at(41);
+        assert_eq!(clock.now_us(), 41);
+        clock.set(99);
+        assert_eq!(clock.now_us(), 99);
+    }
+}

@@ -1,0 +1,301 @@
+//! The flight recorder: a fixed-capacity ring buffer of typed events
+//! behind a one-branch level gate.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{ClockSource, FixedClock, WallClock};
+use crate::event::{Event, EventKind};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::report::NodeObs;
+
+/// Default ring capacity: enough for every checkpoint/GC/message event
+/// of a sizeable run without unbounded growth.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// How much the recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Level {
+    /// Record nothing; [`Recorder::record`] is a single branch.
+    #[default]
+    Off = 0,
+    /// Metrics only: counters and histograms, no event ring.
+    Metrics = 1,
+    /// Metrics plus the full flight-recorder event stream.
+    Trace = 2,
+}
+
+impl Level {
+    /// Decode the wire byte (unknown bytes clamp to [`Level::Off`]).
+    pub fn from_u8(byte: u8) -> Level {
+        match byte {
+            1 => Level::Metrics,
+            2 => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    level: AtomicU8,
+    node: u32,
+    clock: Arc<dyn ClockSource>,
+    ring: Mutex<Ring>,
+    metrics: MetricsRegistry,
+}
+
+/// A per-node (or per-process) flight recorder plus metrics registry.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share state, so the same
+/// recorder can be handed to a `Heap`, its `Process` and the checkpoint
+/// pipeline.  When the level is [`Level::Off`], [`Recorder::record`]
+/// costs one relaxed atomic load and a branch.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl Recorder {
+    /// A recorder for `node` at `level`, stamping events from a fresh
+    /// [`WallClock`] with the default ring capacity.
+    pub fn new(node: u32, level: Level) -> Recorder {
+        Recorder::with_clock(node, level, Arc::new(WallClock::new()))
+    }
+
+    /// A recorder with an explicit [`ClockSource`] — in deterministic
+    /// cluster mode this is the node's seeded virtual clock.
+    pub fn with_clock(node: u32, level: Level, clock: Arc<dyn ClockSource>) -> Recorder {
+        Recorder::with_capacity(node, level, clock, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Full-control constructor: explicit ring capacity.
+    pub fn with_capacity(
+        node: u32,
+        level: Level,
+        clock: Arc<dyn ClockSource>,
+        capacity: usize,
+    ) -> Recorder {
+        Recorder {
+            inner: Arc::new(Inner {
+                level: AtomicU8::new(level as u8),
+                node,
+                clock,
+                ring: Mutex::new(Ring {
+                    events: VecDeque::with_capacity(capacity.min(DEFAULT_RING_CAPACITY)),
+                    capacity: capacity.max(1),
+                    dropped: 0,
+                }),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    /// A permanently-cheap disabled recorder (no wall-clock read even at
+    /// construction) — the default carried by heaps and processes.
+    pub fn disabled() -> Recorder {
+        Recorder::with_capacity(0, Level::Off, Arc::new(FixedClock::at(0)), 1)
+    }
+
+    /// The node this recorder stamps into events.
+    pub fn node(&self) -> u32 {
+        self.inner.node
+    }
+
+    /// Current capture level.
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.inner.level.load(Ordering::Relaxed))
+    }
+
+    /// Change the capture level at runtime.
+    pub fn set_level(&self, level: Level) {
+        self.inner.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Whether the event ring is capturing ([`Level::Trace`]).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.inner.level.load(Ordering::Relaxed) >= Level::Trace as u8
+    }
+
+    /// Whether metrics are capturing ([`Level::Metrics`] or above).
+    #[inline]
+    pub fn metrics_on(&self) -> bool {
+        self.inner.level.load(Ordering::Relaxed) >= Level::Metrics as u8
+    }
+
+    /// Record one event.  When the level is below [`Level::Trace`] this
+    /// is a single relaxed load and a branch — no clock read, no lock.
+    #[inline]
+    pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        if self.inner.level.load(Ordering::Relaxed) < Level::Trace as u8 {
+            return;
+        }
+        self.record_slow(kind, a, b);
+    }
+
+    #[cold]
+    fn record_slow(&self, kind: EventKind, a: u64, b: u64) {
+        let event = Event {
+            ts_us: self.inner.clock.now_us(),
+            node: self.inner.node,
+            kind,
+            a,
+            b,
+        };
+        let mut ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.push(event);
+    }
+
+    /// Add `delta` to metrics counter `name` (no-op below
+    /// [`Level::Metrics`]).
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if self.metrics_on() {
+            self.inner.metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Set metrics counter `name` to `value` (no-op below
+    /// [`Level::Metrics`]).
+    #[inline]
+    pub fn counter_set(&self, name: &str, value: u64) {
+        if self.metrics_on() {
+            self.inner.metrics.counter_set(name, value);
+        }
+    }
+
+    /// Record one histogram observation (no-op below
+    /// [`Level::Metrics`]).
+    #[inline]
+    pub fn observe(&self, name: &str, value: u64) {
+        if self.metrics_on() {
+            self.inner.metrics.observe(name, value);
+        }
+    }
+
+    /// A copy of the captured event stream, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.events.iter().copied().collect()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .dropped
+    }
+
+    /// A point-in-time copy of the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Direct access to the registry (for folding in end-of-run stats
+    /// structs regardless of level).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Package everything captured so far into a scrape-able
+    /// [`NodeObs`] report.
+    pub fn snapshot(&self) -> NodeObs {
+        NodeObs {
+            node: self.inner.node,
+            metrics: self.metrics(),
+            events: self.events(),
+            dropped: self.dropped(),
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_captures_nothing() {
+        let recorder = Recorder::disabled();
+        recorder.record(EventKind::Freeze, 1, 2);
+        recorder.counter_add("x", 1);
+        recorder.observe("h", 9);
+        assert!(recorder.events().is_empty());
+        assert!(recorder.metrics().is_empty());
+        assert_eq!(recorder.level(), Level::Off);
+    }
+
+    #[test]
+    fn metrics_level_skips_the_ring() {
+        let recorder = Recorder::new(3, Level::Metrics);
+        recorder.record(EventKind::Freeze, 1, 2);
+        recorder.counter_add("x", 5);
+        assert!(recorder.events().is_empty());
+        assert_eq!(recorder.metrics().counter("x"), 5);
+    }
+
+    #[test]
+    fn trace_level_captures_in_order_with_virtual_clock() {
+        let clock = Arc::new(FixedClock::at(10));
+        let recorder = Recorder::with_clock(7, Level::Trace, clock.clone());
+        recorder.record(EventKind::CheckpointBegin, 1, 0);
+        clock.set(25);
+        recorder.record(EventKind::CheckpointEnd, 1, 0);
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].ts_us, 10);
+        assert_eq!(events[1].ts_us, 25);
+        assert!(events.iter().all(|e| e.node == 7));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let recorder = Recorder::with_capacity(0, Level::Trace, Arc::new(FixedClock::at(0)), 2);
+        recorder.record(EventKind::GcMinor, 1, 0);
+        recorder.record(EventKind::GcMinor, 2, 0);
+        recorder.record(EventKind::GcMinor, 3, 0);
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].a, 2);
+        assert_eq!(events[1].a, 3);
+        assert_eq!(recorder.dropped(), 1);
+    }
+
+    #[test]
+    fn level_changes_apply_live_and_clones_share_state() {
+        let recorder = Recorder::new(0, Level::Off);
+        let clone = recorder.clone();
+        recorder.record(EventKind::Freeze, 1, 1);
+        assert!(clone.events().is_empty());
+        clone.set_level(Level::Trace);
+        recorder.record(EventKind::Freeze, 2, 2);
+        assert_eq!(clone.events().len(), 1);
+    }
+}

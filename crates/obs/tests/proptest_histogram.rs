@@ -1,0 +1,100 @@
+//! Property tests for the power-of-two histogram: bucket monotonicity,
+//! exact boundary placement, and merge-equals-sum.
+
+use mojave_obs::{Histogram, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket index is monotone in the value: v <= w implies
+    /// bucket(v) <= bucket(w), and every index is in range.
+    #[test]
+    fn bucket_index_is_monotone(v in any::<u64>(), w in any::<u64>()) {
+        let (lo, hi) = if v <= w { (v, w) } else { (w, v) };
+        let bl = Histogram::bucket_index(lo);
+        let bh = Histogram::bucket_index(hi);
+        prop_assert!(bl <= bh);
+        prop_assert!(bh < HISTOGRAM_BUCKETS);
+    }
+
+    /// Exact boundary placement: 2^k lands in bucket k+1 and 2^k - 1
+    /// lands in bucket k (for k >= 1), i.e. bucket i covers exactly
+    /// [2^(i-1), 2^i).
+    #[test]
+    fn powers_of_two_sit_on_bucket_boundaries(k in 1u32..64) {
+        let pow = 1u64 << k;
+        prop_assert_eq!(Histogram::bucket_index(pow), k as usize + 1);
+        prop_assert_eq!(Histogram::bucket_index(pow - 1), k as usize);
+        // And every value inside the bucket's range maps back into it.
+        prop_assert!(Histogram::bucket_bound(k as usize) >= pow - 1);
+    }
+
+    /// Merging two histograms is element-wise sum: merged buckets,
+    /// count and sum all equal observing the concatenation directly.
+    #[test]
+    fn merge_equals_observing_the_concatenation(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for x in &xs { a.observe(*x); }
+        for y in &ys { b.observe(*y); }
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        let mut direct = Histogram::new();
+        for v in xs.iter().chain(ys.iter()) { direct.observe(*v); }
+
+        prop_assert_eq!(merged.buckets(), direct.buckets());
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.sum(), direct.sum());
+        prop_assert_eq!(merged.min(), direct.min());
+        prop_assert_eq!(merged.max(), direct.max());
+    }
+
+    /// Observations land where bucket_index says and quantile bounds
+    /// bracket the true max to within a factor of two.
+    #[test]
+    fn observations_land_in_their_bucket(vs in proptest::collection::vec(any::<u64>(), 1..64)) {
+        let mut h = Histogram::new();
+        for v in &vs { h.observe(*v); }
+        let total: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(total, vs.len() as u64);
+        for v in &vs {
+            prop_assert!(h.buckets()[Histogram::bucket_index(*v)] > 0);
+        }
+        let max = *vs.iter().max().unwrap();
+        prop_assert!(h.quantile_bound(1.0) >= max / 2);
+    }
+
+    /// Snapshot merge matches histogram merge and survives the wire
+    /// encoding.
+    #[test]
+    fn snapshot_merge_and_roundtrip(
+        xs in proptest::collection::vec(any::<u64>(), 0..32),
+        ys in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let mut a = MetricsSnapshot::default();
+        let mut b = MetricsSnapshot::default();
+        let ha = a.histograms.entry("lat".to_owned()).or_default();
+        for x in &xs { ha.observe(*x); }
+        let hb = b.histograms.entry("lat".to_owned()).or_default();
+        for y in &ys { hb.observe(*y); }
+        a.counters.insert("n".to_owned(), xs.len() as u64);
+        b.counters.insert("n".to_owned(), ys.len() as u64);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.counter("n"), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(
+            merged.histogram("lat").unwrap().count(),
+            (xs.len() + ys.len()) as u64
+        );
+
+        let mut bytes = Vec::new();
+        merged.encode(&mut bytes);
+        let (back, used) = MetricsSnapshot::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, merged);
+    }
+}

@@ -4,6 +4,7 @@
 
 use mojave_core::{DeliveryOutcome, MigrationSink, PipelineStats, SnapshotPack};
 use mojave_fir::MigrateProtocol;
+use mojave_obs::{EventKind, Recorder};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
@@ -86,6 +87,9 @@ struct Shared {
     space_ready: Condvar,
     /// Signalled when the worker finishes a job (drain waits here).
     idle: Condvar,
+    /// Flight recorder for queue-depth samples and worker-side
+    /// encode/deliver events.  Set at most once; absent = silent.
+    recorder: OnceLock<Recorder>,
 }
 
 /// A single-worker checkpoint pipeline.
@@ -137,6 +141,7 @@ impl CheckpointPipeline {
             job_ready: Condvar::new(),
             space_ready: Condvar::new(),
             idle: Condvar::new(),
+            recorder: OnceLock::new(),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
@@ -204,10 +209,26 @@ impl CheckpointPipeline {
                 .expect("pipeline state lock");
         }
         state.stats.queue_depth = state.queue.len();
+        state.stats.queue_depth_max = state.stats.queue_depth_max.max(state.queue.len());
         state.stats.pause_ns += submit_start.elapsed().as_nanos() as u64;
+        let depth = state.queue.len() as u64;
         drop(state);
+        if let Some(recorder) = self.shared.recorder.get() {
+            recorder.record(
+                EventKind::QueueDepth,
+                depth,
+                self.config.queue_capacity as u64,
+            );
+        }
         self.shared.job_ready.notify_all();
         outcome
+    }
+
+    /// Attach a flight recorder: queue-depth samples at every submit,
+    /// encode/deliver events from the worker.  At most one recorder per
+    /// pipeline; later calls are ignored.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        let _ = self.shared.recorder.set(recorder);
     }
 
     /// Block until the queue is empty and the worker is idle — every
@@ -282,6 +303,18 @@ fn worker_loop(shared: Arc<Shared>, sink: Arc<Mutex<Box<dyn MigrationSink + Send
                 None,
             ),
         };
+
+        if let Some(recorder) = shared.recorder.get() {
+            if let Some((raw, stored)) = wire {
+                recorder.record(EventKind::Encode, raw, stored);
+            }
+            recorder.record(
+                EventKind::Deliver,
+                outcome.obs_code(),
+                wire.map_or(0, |(_, stored)| stored),
+            );
+            recorder.observe("pipeline.encode_ns", encode_ns);
+        }
 
         let mut state = shared.state.lock().expect("pipeline state lock");
         state.stats.encode_ns += encode_ns;

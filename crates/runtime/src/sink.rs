@@ -60,6 +60,12 @@ impl AsyncSink {
     pub fn drain(&self) {
         self.pipeline.drain();
     }
+
+    /// Attach a flight recorder to the pipeline (queue-depth samples and
+    /// worker-side encode/deliver events).
+    pub fn set_recorder(&self, recorder: mojave_obs::Recorder) {
+        self.pipeline.set_recorder(recorder);
+    }
 }
 
 impl MigrationSink for AsyncSink {

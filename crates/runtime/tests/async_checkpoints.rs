@@ -226,6 +226,8 @@ fn block_backpressure_preserves_every_checkpoint() {
             drain_after_submit: false,
         },
     );
+    let recorder = mojave_obs::Recorder::new(0, mojave_obs::Level::Trace);
+    pipeline.set_recorder(recorder.clone());
     let mut process = sample_process();
     for i in 0..8 {
         let pack = sample_pack(&mut process, false);
@@ -237,6 +239,23 @@ fn block_backpressure_preserves_every_checkpoint() {
     assert_eq!(stats.completed, 8);
     assert_eq!(stats.coalesced, 0);
     assert_eq!(stats.queue_depth, 0);
+    // The high-water mark survives the drain: the capacity-1 queue was
+    // full at least once while the slow sink held the worker.
+    assert!(
+        stats.queue_depth_max >= 1,
+        "queue_depth_max = {}",
+        stats.queue_depth_max
+    );
+    // Every submission also left a QueueDepth sample in the recorder,
+    // carrying the observed depth and the configured capacity.
+    let samples: Vec<_> = recorder
+        .events()
+        .into_iter()
+        .filter(|e| e.kind == mojave_obs::EventKind::QueueDepth)
+        .collect();
+    assert_eq!(samples.len(), 8);
+    assert!(samples.iter().all(|e| e.b == 1), "capacity rides in b");
+    assert!(samples.iter().any(|e| e.a >= 1));
     assert_eq!(store.len(), 8, "Block never drops a checkpoint");
     // The blocked submissions are visible as mutator pause.
     assert!(stats.pause_ns > 0);
@@ -277,6 +296,9 @@ fn coalesce_latest_drops_only_superseded_deltas() {
     assert_eq!(stats.submitted, 7);
     assert!(stats.coalesced > 0, "slow sink must force coalescing");
     assert_eq!(stats.completed + stats.coalesced, 7);
+    // Coalescing replaces the queued delta in place, so the high-water
+    // mark shows the queue filled but never exceeded its capacity.
+    assert_eq!(stats.queue_depth_max, 1);
     // The full survived; the newest delta survived; coalesced deltas were
     // marked `Superseded` in their outcome slots without ever hitting the
     // store — distinct from `Failed`, so waiters never mistake healthy

@@ -25,11 +25,15 @@
 use crate::{WireError, WireReader, WireWriter, FORMAT_VERSION, MAGIC};
 use std::fmt;
 use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version of the *transport* protocol (framing + handshake + RPC
 /// numbering).  Independent of the image [`FORMAT_VERSION`]: a transport
 /// bump changes how bytes move, not what they decode to.
-pub const TRANSPORT_VERSION: u32 = 1;
+///
+/// v2 added the observability scrape messages ([`FrameKind::ObsPush`]
+/// through [`FrameKind::ObsReply`]).
+pub const TRANSPORT_VERSION: u32 = 2;
 
 /// Upper bound on a single frame's payload (1 GiB).  A frame carries at
 /// most one wire image plus small metadata; anything larger is corruption
@@ -90,13 +94,23 @@ pub enum FrameKind {
     StatsAck = 18,
     /// Client → server: clean shutdown; the connection closes after.
     Bye = 19,
+    /// Client → server: a node's observability report (metrics snapshot
+    /// plus flight-recorder events) pushed at end of run.
+    ObsPush = 20,
+    /// Server → client: observability report recorded.
+    ObsAck = 21,
+    /// Client → server: scrape request — send back the observability
+    /// reports collected so far.
+    ObsQuery = 22,
+    /// Server → client: the aggregated observability reports.
+    ObsReply = 23,
 }
 
 impl FrameKind {
     /// Decode a protocol-number byte.
     pub fn from_u8(byte: u8) -> Option<FrameKind> {
         use FrameKind::*;
-        const ALL: [FrameKind; 19] = [
+        const ALL: [FrameKind; 23] = [
             Hello,
             Welcome,
             Error,
@@ -116,6 +130,10 @@ impl FrameKind {
             Stats,
             StatsAck,
             Bye,
+            ObsPush,
+            ObsAck,
+            ObsQuery,
+            ObsReply,
         ];
         ALL.into_iter().find(|k| *k as u8 == byte)
     }
@@ -264,6 +282,83 @@ pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), FrameError>
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
+    Ok((kind, payload))
+}
+
+/// Per-connection (or per-node) transport traffic accounting.
+///
+/// All counters are atomics so one `Arc<LinkStats>` can be shared
+/// between a connection handler and whoever reports the totals; byte
+/// counts include the 5-byte frame header, so they match what actually
+/// crossed the socket.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl LinkStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> LinkStats {
+        LinkStats::default()
+    }
+
+    /// Account one outbound frame of `payload_len` bytes.
+    pub fn note_sent(&self, payload_len: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(5 + payload_len as u64, Ordering::Relaxed);
+    }
+
+    /// Account one inbound frame of `payload_len` bytes.
+    pub fn note_received(&self, payload_len: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(5 + payload_len as u64, Ordering::Relaxed);
+    }
+
+    /// Frames written to the peer.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames read from the peer.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to the peer (headers included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read from the peer (headers included).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+}
+
+/// [`write_frame`] plus accounting into `stats`.
+pub fn write_frame_counted(
+    w: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+    stats: &LinkStats,
+) -> Result<(), FrameError> {
+    write_frame(w, kind, payload)?;
+    stats.note_sent(payload.len());
+    Ok(())
+}
+
+/// [`read_frame`] plus accounting into `stats`.
+pub fn read_frame_counted(
+    r: &mut impl Read,
+    stats: &LinkStats,
+) -> Result<(FrameKind, Vec<u8>), FrameError> {
+    let (kind, payload) = read_frame(r)?;
+    stats.note_received(payload.len());
     Ok((kind, payload))
 }
 
@@ -499,6 +594,37 @@ mod tests {
             Hello::from_payload(&payload),
             Err(FrameError::Wire(WireError::TrailingBytes { remaining: 1 }))
         ));
+    }
+
+    #[test]
+    fn obs_frame_kinds_roundtrip() {
+        for kind in [
+            FrameKind::ObsPush,
+            FrameKind::ObsAck,
+            FrameKind::ObsQuery,
+            FrameKind::ObsReply,
+        ] {
+            assert_eq!(FrameKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(FrameKind::from_u8(24), None);
+    }
+
+    #[test]
+    fn counted_io_accounts_frames_and_bytes() {
+        let stats = LinkStats::new();
+        let mut buf = Vec::new();
+        write_frame_counted(&mut buf, FrameKind::ObsPush, &[1, 2, 3], &stats).unwrap();
+        write_frame_counted(&mut buf, FrameKind::Bye, &[], &stats).unwrap();
+        assert_eq!(stats.frames_sent(), 2);
+        assert_eq!(stats.bytes_sent(), (5 + 3) + 5);
+        assert_eq!(stats.bytes_sent(), buf.len() as u64);
+
+        let peer = LinkStats::new();
+        let mut cursor = &buf[..];
+        read_frame_counted(&mut cursor, &peer).unwrap();
+        read_frame_counted(&mut cursor, &peer).unwrap();
+        assert_eq!(peer.frames_received(), 2);
+        assert_eq!(peer.bytes_received(), stats.bytes_sent());
     }
 
     #[test]

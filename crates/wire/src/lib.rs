@@ -58,8 +58,8 @@ mod writer;
 
 pub use error::WireError;
 pub use frame::{
-    decode_error, read_frame, send_error, write_frame, FrameError, FrameKind, Hello, Welcome,
-    MAX_FRAME_LEN, TRANSPORT_VERSION,
+    decode_error, read_frame, read_frame_counted, send_error, write_frame, write_frame_counted,
+    FrameError, FrameKind, Hello, LinkStats, Welcome, MAX_FRAME_LEN, TRANSPORT_VERSION,
 };
 pub use reader::{FrameStats, ImageHeader, SectionReader, WireReader, MAX_REASONABLE_LEN};
 pub use tags::{SectionTag, BATCHED_VERSION, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION};

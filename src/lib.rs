@@ -18,7 +18,9 @@
 //! * [`cluster`] — the simulated distributed environment,
 //! * [`runtime`] — the asynchronous checkpoint/migration pipeline
 //!   (zero-pause COW heap snapshots encoded and delivered off-thread),
-//! * [`grid`] — the canonical grid computation application.
+//! * [`grid`] — the canonical grid computation application,
+//! * [`obs`] — the observability layer: deterministic flight recorder,
+//!   metrics registry and trace exporters.
 //!
 //! ## Quickstart
 //!
@@ -51,5 +53,6 @@ pub use mojave_fir as fir;
 pub use mojave_grid as grid;
 pub use mojave_heap as heap;
 pub use mojave_lang as lang;
+pub use mojave_obs as obs;
 pub use mojave_runtime as runtime;
 pub use mojave_wire as wire;

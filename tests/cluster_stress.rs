@@ -184,6 +184,49 @@ fn sixty_four_node_async_replay_digest_matches_sync() {
     assert!(asynchronous.checkpoint_encode_ns > 0);
 }
 
+/// CI `stress` observability leg: at 64 nodes with failure injection,
+/// flight-recorder tracing neither perturbs the replay digest nor is
+/// itself nondeterministic — two traced runs emit byte-identical event
+/// streams (virtual-clock timestamps included), and the traced digest
+/// matches the untraced one.
+#[test]
+#[ignore = "large-cluster stress; run via the CI stress job or --ignored"]
+fn sixty_four_node_traced_run_replays_with_identical_event_streams() {
+    let config = stress_config(64);
+    let failure = Some(FailurePlan {
+        victim: 17,
+        after_checkpoints: 1,
+    });
+    let seed = 0xB5E64u64;
+    let with_obs = |obs| GridOptions {
+        seed: Some(seed),
+        obs,
+        ..GridOptions::default()
+    };
+    let untraced =
+        run_grid_with(&config, failure, with_obs(mojave::obs::Level::Off)).expect("untraced run");
+    let a = run_grid_with(&config, failure, with_obs(mojave::obs::Level::Trace))
+        .expect("traced run succeeds");
+    let b = run_grid_with(&config, failure, with_obs(mojave::obs::Level::Trace))
+        .expect("traced replay succeeds");
+    assert_eq!(untraced.replay_digest(), a.replay_digest());
+    assert_eq!(a.replay_digest(), b.replay_digest());
+    // 65 reports: 64 workers plus the victim's resurrected incarnation.
+    assert_eq!(a.node_obs.len(), 65);
+    let stream = |report: &GridReport| {
+        let mut bytes = Vec::new();
+        for obs in &report.node_obs {
+            for event in &obs.events {
+                event.encode(&mut bytes);
+            }
+        }
+        bytes
+    };
+    let stream_a = stream(&a);
+    assert!(!stream_a.is_empty());
+    assert_eq!(stream_a, stream(&b), "64-node event streams diverged");
+}
+
 /// 128 nodes: double the shard count, same guarantees.
 #[test]
 #[ignore = "large-cluster stress; run via the CI stress job or --ignored"]
